@@ -1,0 +1,63 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints a
+*paper vs measured* report (run with ``pytest benchmarks/ --benchmark-only
+-s`` to see them). Results are also dumped as JSON under
+``benchmarks/results/`` so EXPERIMENTS.md can be refreshed from them.
+
+Scale: by default experiments run at a reduced duration/repetition count
+(the shapes are stable well below the paper's 7 × 23 min protocol). Set
+``REPRO_PAPER_SCALE=full`` to use the paper's exact protocol.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.plantnet import PlantNetScenario
+from repro.utils.serialization import dump_json
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL_SCALE = os.environ.get("REPRO_PAPER_SCALE", "").lower() == "full"
+
+#: per-evaluation measurement protocol.
+DURATION = 1380.0 if FULL_SCALE else 345.0
+WARMUP = 60.0
+REPETITIONS = 7 if FULL_SCALE else 3
+SWEEP_REPETITIONS = 7 if FULL_SCALE else 1
+
+
+@pytest.fixture(scope="session")
+def scenario() -> PlantNetScenario:
+    """The shared Grid'5000 Pl@ntNet scenario at benchmark scale."""
+    return PlantNetScenario(
+        duration=DURATION,
+        warmup=WARMUP,
+        repetitions=REPETITIONS,
+        base_seed=2021,
+    )
+
+
+@pytest.fixture(scope="session")
+def sweep_scenario() -> PlantNetScenario:
+    """Lighter scenario for many-point sweeps (OAT, workload curves)."""
+    return PlantNetScenario(
+        duration=DURATION,
+        warmup=WARMUP,
+        repetitions=SWEEP_REPETITIONS,
+        base_seed=2021,
+    )
+
+
+def save_results(name: str, payload: dict) -> None:
+    """Persist a benchmark's rows for EXPERIMENTS.md."""
+    dump_json(payload, RESULTS_DIR / f"{name}.json")
+
+
+def print_table(table) -> None:
+    print()
+    print(table.render())

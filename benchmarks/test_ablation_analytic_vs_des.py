@@ -1,0 +1,72 @@
+"""Ablation — agreement of the analytic model with the DES.
+
+The analytic twin is ~1000× faster; for it to be useful as a search proxy
+it must *rank* configurations like the DES does. We sample random
+configurations from the Eq. 2 space and compare.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from benchmarks.conftest import print_table, save_results
+from repro.engine import AnalyticEngineModel, ThreadPoolConfig, simulate_engine
+from repro.plantnet import paper_search_space
+from repro.utils.tables import Table
+
+N_CONFIGS = 24
+
+
+@pytest.fixture(scope="module")
+def paired():
+    rng = np.random.default_rng(11)
+    space = paper_search_space()
+    model = AnalyticEngineModel()
+    rows = []
+    for _ in range(N_CONFIGS):
+        point = space.inverse_transform(rng.random((1, len(space))))[0]
+        config = ThreadPoolConfig(
+            http=point[0], download=point[1], simsearch=point[2], extract=point[3]
+        )
+        analytic = model.response_time(config, 80)
+        des = simulate_engine(
+            config, 80, duration=250.0, warmup=50.0, seed=int(rng.integers(1e6))
+        ).user_response_time.mean
+        rows.append((config, analytic, des))
+    return rows
+
+
+def test_ablation_analytic_vs_des(benchmark, paired):
+    model = AnalyticEngineModel()
+    benchmark.pedantic(
+        lambda: model.response_time(ThreadPoolConfig(40, 40, 7, 40), 80),
+        rounds=1,
+        iterations=20,
+    )
+
+    analytic = np.array([a for _, a, _ in paired])
+    des = np.array([d for _, _, d in paired])
+    rel_err = np.abs(analytic - des) / des
+    rho = stats.spearmanr(analytic, des).statistic
+
+    table = Table(
+        ["statistic", "value"],
+        title=f"Ablation — analytic vs DES over {N_CONFIGS} random configurations",
+    )
+    table.add_row(["Spearman rank correlation", f"{rho:.3f}"])
+    table.add_row(["median |relative error|", f"{np.median(rel_err):.1%}"])
+    table.add_row(["max |relative error|", f"{rel_err.max():.1%}"])
+    print_table(table)
+    save_results(
+        "ablation_analytic_vs_des",
+        {
+            "spearman": float(rho),
+            "median_rel_err": float(np.median(rel_err)),
+            "max_rel_err": float(rel_err.max()),
+        },
+    )
+
+    assert rho > 0.9, "analytic model must rank configurations like the DES"
+    assert np.median(rel_err) < 0.10

@@ -1,0 +1,92 @@
+"""Ablation — surrogate-model choice for the Pl@ntNet search.
+
+The paper picks Extra-Trees ("preliminary" because e.g. Kriging or GBRT
+might find other minima, Sec. IV). This ablation runs the same campaign
+with every surrogate family (plus pure random search as the floor) against
+the fast analytic engine twin, over several seeds, and compares the best
+response time found within a fixed 25-evaluation budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table, save_results
+from repro.bayesopt import Optimizer
+from repro.engine import AnalyticEngineModel, ThreadPoolConfig
+from repro.plantnet import BASELINE, paper_search_space
+from repro.utils.tables import Table
+
+ESTIMATORS = ("ET", "RF", "GBRT", "GP")
+SEEDS = (0, 1, 2, 3, 4)
+BUDGET = 25
+N_INITIAL = 10
+
+_model = AnalyticEngineModel()
+
+
+def _objective(point: list) -> float:
+    http, download, simsearch, extract = point
+    return _model.response_time(
+        ThreadPoolConfig(http=http, download=download, extract=extract, simsearch=simsearch),
+        80,
+    )
+
+
+def _campaign(estimator: str, seed: int) -> float:
+    opt = Optimizer(
+        paper_search_space(),
+        base_estimator=estimator,
+        n_initial_points=N_INITIAL,
+        initial_point_generator="lhs",
+        acq_func="gp_hedge",
+        random_state=seed,
+        acq_n_candidates=1000,
+    )
+    return opt.run(_objective, BUDGET).fun
+
+
+def _random_campaign(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    space = paper_search_space()
+    best = float("inf")
+    for _ in range(BUDGET):
+        point = space.inverse_transform(rng.random((1, len(space))))[0]
+        best = min(best, _objective(point))
+    return best
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    results = {est: [_campaign(est, s) for s in SEEDS] for est in ESTIMATORS}
+    results["random"] = [_random_campaign(s) for s in SEEDS]
+    return results
+
+
+def test_ablation_surrogates(benchmark, outcomes):
+    benchmark.pedantic(lambda: _campaign("ET", 99), rounds=1, iterations=1)
+
+    baseline_resp = _model.response_time(BASELINE, 80)
+    table = Table(
+        ["surrogate", "mean best resp (s)", "std", "gain vs baseline"],
+        title=f"Ablation — surrogate choice ({BUDGET} evaluations, {len(SEEDS)} seeds)",
+    )
+    summary = {}
+    for name, values in outcomes.items():
+        mean = float(np.mean(values))
+        summary[name] = mean
+        table.add_row(
+            [name, f"{mean:.3f}", f"{np.std(values):.3f}", f"{1 - mean / baseline_resp:+.1%}"]
+        )
+    print_table(table)
+    save_results("ablation_surrogates", {"best_found": summary, "baseline": baseline_resp})
+
+    # Every model-based search must beat the baseline configuration...
+    for est in ESTIMATORS:
+        assert summary[est] < baseline_resp, est
+    # ...and the paper's ET choice must be competitive (within 2 % of the
+    # best family) and no worse than random search.
+    best_family = min(summary[e] for e in ESTIMATORS)
+    assert summary["ET"] <= best_family * 1.02
+    assert summary["ET"] <= summary["random"] * 1.01

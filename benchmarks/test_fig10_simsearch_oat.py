@@ -1,0 +1,84 @@
+"""Fig. 10 — impact of similarity-search thread-pool variability (OAT).
+
+The paper varies simsearch ±3 around 53. Its measurements show a shallow
+~4 % dip at 55 threads — yet Table IV keeps simsearch at 53 in the refined
+optimum, implying the dip sits within run-to-run variance. Our model
+renders this region as a plateau: we assert the *flatness* (all variations
+within a few percent) and the busy-time levels, and report the measured
+curve side by side with the paper's reading.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table, save_results
+from repro.plantnet import PRELIMINARY_OPTIMUM
+from repro.plantnet.paper import FIG10_SIMSEARCH_SWEEP
+from repro.sensitivity import OATAnalysis, ParameterSweep
+from repro.utils.tables import Table
+
+SIMSEARCH_VALUES = (50, 51, 52, 53, 54, 55, 56)
+
+
+@pytest.fixture(scope="module")
+def oat_result(sweep_scenario):
+    analysis = OATAnalysis(
+        lambda cfg: sweep_scenario.evaluate(cfg, 80, seed=12),
+        PRELIMINARY_OPTIMUM.to_dict(),
+    )
+    return analysis.run([ParameterSweep("simsearch", SIMSEARCH_VALUES)])
+
+
+def test_fig10_simsearch_oat(benchmark, oat_result, sweep_scenario):
+    benchmark.pedantic(
+        lambda: sweep_scenario.evaluate(
+            PRELIMINARY_OPTIMUM.replace(simsearch=55).to_dict(), 80, seed=13
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    sweep = dict(oat_result.sweeps["simsearch"])
+    table = Table(
+        ["simsearch", "resp (s)", "simsearch task", "wait-simsearch", "simsearch busy", "extract busy"],
+        title="Fig. 10 — simsearch pool OAT around the preliminary optimum",
+    )
+    rows = {}
+    for s in SIMSEARCH_VALUES:
+        m = sweep[s]
+        rows[s] = m
+        table.add_row(
+            [
+                s,
+                f"{m['user_resp_time']:.3f}",
+                f"{m['task_simsearch']:.3f}",
+                f"{m['task_wait-simsearch']:.4f}",
+                f"{m['busy_simsearch']:.0%}",
+                f"{m['busy_extract']:.0%}",
+            ]
+        )
+    print_table(table)
+    print(
+        "\npaper reading: shallow minimum at 55 (−4 %), adopted refined value "
+        f"stays at {FIG10_SIMSEARCH_SWEEP['adopted_in_refined']} (Table IV) — "
+        "consistent with a variance-level plateau, which is what we measure."
+    )
+    save_results("fig10_simsearch_oat", {str(k): v for k, v in rows.items()})
+
+    resp = np.array([rows[s]["user_resp_time"] for s in SIMSEARCH_VALUES])
+    # Plateau: the whole ±3 sweep moves the response by only a few percent.
+    assert (resp.max() - resp.min()) / resp.min() < 0.05
+    # The adopted refined value (53) is statistically as good as the best.
+    assert rows[53]["user_resp_time"] <= resp.min() * 1.03
+    # simsearch pool comfortably below saturation in this range (paper: the
+    # pool is the non-bottleneck here)...
+    for s in (53, 54, 55):
+        assert rows[s]["busy_simsearch"] < 0.85
+    # ...while the extract pool stays the busy one.
+    for s in SIMSEARCH_VALUES:
+        assert rows[s]["busy_extract"] > 0.9
+    # wait-simsearch shrinks as the pool grows.
+    waits = [rows[s]["task_wait-simsearch"] for s in SIMSEARCH_VALUES]
+    assert waits[0] >= waits[-1]

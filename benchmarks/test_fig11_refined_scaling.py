@@ -1,0 +1,68 @@
+"""Fig. 11 — the three configurations across all workloads.
+
+The paper: the refined optimum presents the best results at every
+workload; refined-vs-baseline gains grow to 7.2 % / 6.3 % / 9.8 % at
+80 / 120 / 140 simultaneous requests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table, save_results
+from repro.plantnet import BASELINE, PRELIMINARY_OPTIMUM, REFINED_OPTIMUM
+from repro.plantnet.paper import FIG11_GAINS_REFINED, WORKLOADS
+from repro.utils.tables import Table
+
+CONFIGS = {
+    "baseline": BASELINE,
+    "preliminary": PRELIMINARY_OPTIMUM,
+    "refined": REFINED_OPTIMUM,
+}
+
+
+@pytest.fixture(scope="module")
+def grid(scenario):
+    return {
+        (name, requests): scenario.run(config, requests)
+        for name, config in CONFIGS.items()
+        for requests in WORKLOADS
+    }
+
+
+def test_fig11_refined_scaling(benchmark, grid, scenario):
+    benchmark.pedantic(
+        lambda: scenario.run(REFINED_OPTIMUM, 140, repetitions=1), rounds=1, iterations=1
+    )
+
+    table = Table(
+        ["requests", "baseline (s)", "preliminary (s)", "refined (s)", "refined gain", "paper gain"],
+        title="Fig. 11 — user response time: baseline vs both optimums",
+    )
+    rows = {}
+    for requests in WORKLOADS:
+        base = grid[("baseline", requests)].user_response_time.mean
+        pre = grid[("preliminary", requests)].user_response_time.mean
+        ref = grid[("refined", requests)].user_response_time.mean
+        gain = 1 - ref / base
+        rows[requests] = {"baseline": base, "preliminary": pre, "refined": ref, "gain": gain}
+        table.add_row(
+            [
+                requests,
+                f"{base:.3f}",
+                f"{pre:.3f}",
+                f"{ref:.3f}",
+                f"{gain:+.1%}",
+                f"{FIG11_GAINS_REFINED[requests]:+.1%}",
+            ]
+        )
+    print_table(table)
+    save_results("fig11_refined_scaling", {str(k): v for k, v in rows.items()})
+
+    for requests in WORKLOADS:
+        row = rows[requests]
+        # refined is the best (or ties preliminary within noise) everywhere
+        assert row["refined"] < row["baseline"]
+        assert row["refined"] <= row["preliminary"] * 1.01
+        # gains in the paper's order of magnitude
+        assert 0.02 <= row["gain"] <= 0.16

@@ -1,0 +1,54 @@
+"""Fig. 2 — exponential growth of new users with spring peaks.
+
+The registration data itself is proprietary; the synthetic generator
+reproduces the figure's qualitative content — year-over-year exponential
+growth with May–June peaks — and feeds the capacity-planning example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_table, save_results
+from repro.plantnet import UserGrowthModel
+from repro.utils.tables import Table
+
+YEARS = 4
+
+
+def test_fig2_user_growth(benchmark):
+    model = UserGrowthModel()
+
+    def generate():
+        return model.generate(int(YEARS * 365.25), seed=2021)
+
+    series = benchmark.pedantic(generate, rounds=1, iterations=1)
+
+    days = series.times
+    values = series.values
+    table = Table(
+        ["year", "peak day (day-of-year)", "peak rate", "trough rate", "peak/trough"],
+        title="Fig. 2 — synthetic Pl@ntNet user growth (spring peaks)",
+    )
+    peaks = []
+    rows = []
+    for year in range(YEARS):
+        mask = (days >= year * 365.25) & (days < (year + 1) * 365.25)
+        year_values = values[mask]
+        year_days = days[mask]
+        peak_idx = int(np.argmax(year_values))
+        peak_day = int(year_days[peak_idx] - year * 365.25)
+        peak = float(year_values.max())
+        trough = float(year_values.min())
+        peaks.append(peak)
+        table.add_row([year + 1, peak_day, f"{peak:.0f}", f"{trough:.0f}", f"{peak / trough:.2f}"])
+        rows.append({"year": year + 1, "peak_day": peak_day, "peak": peak, "trough": trough})
+    print_table(table)
+    save_results("fig2_user_growth", {"years": rows})
+
+    # Shape: peaks land in spring (April–June) and grow every year.
+    for row in rows:
+        assert 90 <= row["peak_day"] <= 190, "peak must fall in spring"
+    assert all(b > a for a, b in zip(peaks, peaks[1:])), "year-over-year growth"
+    # peaks are pronounced (the paper's 'exponential growth every spring')
+    assert all(row["peak"] / row["trough"] > 2.0 for row in rows)

@@ -1,0 +1,57 @@
+"""Fig. 3 — baseline user response time vs simultaneous requests.
+
+The paper: with the production configuration, keeping the response under
+the 4-second user tolerance caps the system at ~120 simultaneous requests
+(3.86 ± 0.13 s at 120).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table, save_results
+from repro.plantnet import BASELINE
+from repro.plantnet.paper import FIG3_BASELINE_120
+from repro.utils.tables import Table
+
+REQUEST_SWEEP = (20, 40, 60, 80, 100, 120, 140, 160)
+
+
+@pytest.fixture(scope="module")
+def curve(sweep_scenario):
+    return {
+        requests: sweep_scenario.run(BASELINE, requests)
+        for requests in REQUEST_SWEEP
+    }
+
+
+def test_fig3_baseline_response_curve(benchmark, curve, sweep_scenario):
+    def measure():
+        return sweep_scenario.run(BASELINE, 120)
+
+    result_120 = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    table = Table(
+        ["simultaneous requests", "measured resp (s)", "paper"],
+        title="Fig. 3 — baseline user response time vs workload",
+    )
+    rows = {}
+    for requests, result in curve.items():
+        paper = f"{FIG3_BASELINE_120['user_resp_time']} ± {FIG3_BASELINE_120['std']}" if requests == 120 else ""
+        table.add_row([requests, str(result.user_response_time), paper])
+        rows[requests] = result.user_response_time.mean
+    print_table(table)
+    save_results("fig3_baseline_response", {"curve": rows})
+
+    # Shape assertions (who wins / where the knee falls):
+    values = [rows[r] for r in REQUEST_SWEEP]
+    assert values == sorted(values), "response time must be non-decreasing in load"
+    # the 4 s tolerance is crossed between 120 and 160 requests
+    assert rows[120] <= FIG3_BASELINE_120["tolerance_s"] * 1.05
+    assert rows[160] > FIG3_BASELINE_120["tolerance_s"]
+    # the paper's headline point: 3.86 ± 0.13 at 120 (we allow 12 %)
+    assert result_120.user_response_time.mean == pytest.approx(
+        FIG3_BASELINE_120["user_resp_time"], rel=0.12
+    )
+    # low load is flat: doubling 20→40 changes response by < 15 %
+    assert rows[40] / rows[20] < 1.15

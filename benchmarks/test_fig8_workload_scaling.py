@@ -1,0 +1,61 @@
+"""Fig. 8 — baseline vs preliminary optimum across workloads.
+
+The paper scales the workload over 80 / 120 / 140 simultaneous requests;
+the preliminary optimum outperforms the baseline at every point (gains of
+6.9 %, 2.2 % and 6.7 % respectively).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table, save_results
+from repro.plantnet import BASELINE, PRELIMINARY_OPTIMUM
+from repro.plantnet.paper import FIG8_GAINS_PRELIMINARY, WORKLOADS
+from repro.utils.tables import Table
+
+
+@pytest.fixture(scope="module")
+def results(scenario):
+    out = {}
+    for requests in WORKLOADS:
+        out[requests] = {
+            "baseline": scenario.run(BASELINE, requests),
+            "preliminary": scenario.run(PRELIMINARY_OPTIMUM, requests),
+        }
+    return out
+
+
+def test_fig8_workload_scaling(benchmark, results, scenario):
+    benchmark.pedantic(
+        lambda: scenario.run(PRELIMINARY_OPTIMUM, 80, repetitions=1),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = Table(
+        ["requests", "baseline (s)", "preliminary (s)", "gain", "paper gain"],
+        title="Fig. 8 — user response time: baseline vs preliminary",
+    )
+    rows = {}
+    for requests in WORKLOADS:
+        base = results[requests]["baseline"].user_response_time
+        pre = results[requests]["preliminary"].user_response_time
+        gain = 1.0 - pre.mean / base.mean
+        rows[requests] = {"baseline": base.mean, "preliminary": pre.mean, "gain": gain}
+        table.add_row(
+            [requests, str(base), str(pre), f"{gain:+.1%}", f"{FIG8_GAINS_PRELIMINARY[requests]:+.1%}"]
+        )
+    print_table(table)
+    save_results("fig8_workload_scaling", rows)
+
+    # Shape: preliminary wins everywhere; gains in the paper's band.
+    for requests in WORKLOADS:
+        assert rows[requests]["gain"] > 0.0, f"preliminary must win at {requests}"
+        assert rows[requests]["gain"] < 0.15
+    # Response grows with workload for both configurations.
+    for key in ("baseline", "preliminary"):
+        values = [rows[r][key] for r in WORKLOADS]
+        assert values == sorted(values)
+    # The 80-request gain is in the paper's 6.9 % ballpark.
+    assert rows[80]["gain"] == pytest.approx(0.069, abs=0.035)

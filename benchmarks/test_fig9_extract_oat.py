@@ -1,0 +1,107 @@
+"""Fig. 9 — impact of extract thread-pool variability (OAT, ±2 around 7).
+
+Reproduces all seven panels: (a) user response time — minimum at 6
+threads; (b) per-task processing times — wait-extract falls and simsearch
+rises with more extract threads; (c) CPU usage — pinned at 100 % for 8–9;
+(d) GPU memory — grows with the pool; (e) system memory — grows with the
+pool; (f) extract pool busy ~100 % for 5–7, 80–100 % for 8–9; (g)
+simsearch pool busy ~50–60 % for 5–7, ≥80 % for 8–9.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table, save_results
+from repro.plantnet import PRELIMINARY_OPTIMUM
+from repro.plantnet.paper import FIG9_EXTRACT_SWEEP
+from repro.sensitivity import OATAnalysis, ParameterSweep
+from repro.utils.tables import Table
+
+EXTRACT_VALUES = FIG9_EXTRACT_SWEEP["values"]  # (5, 6, 7, 8, 9)
+
+
+@pytest.fixture(scope="module")
+def oat_result(sweep_scenario):
+    analysis = OATAnalysis(
+        lambda cfg: sweep_scenario.evaluate(cfg, 80, seed=9),
+        PRELIMINARY_OPTIMUM.to_dict(),
+    )
+    return analysis.run([ParameterSweep("extract", EXTRACT_VALUES)])
+
+
+def test_fig9_extract_oat(benchmark, oat_result, sweep_scenario):
+    benchmark.pedantic(
+        lambda: sweep_scenario.evaluate(
+            PRELIMINARY_OPTIMUM.replace(extract=6).to_dict(), 80, seed=10
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    sweep = dict(oat_result.sweeps["extract"])
+    table = Table(
+        [
+            "extract",
+            "resp (s)",
+            "wait-extract",
+            "simsearch task",
+            "cpu",
+            "gpu mem (GB)",
+            "sys mem (GB)",
+            "extract busy",
+            "simsearch busy",
+        ],
+        title="Fig. 9 — extract pool OAT around the preliminary optimum",
+    )
+    rows = {}
+    for e in EXTRACT_VALUES:
+        m = sweep[e]
+        rows[e] = m
+        table.add_row(
+            [
+                e,
+                f"{m['user_resp_time']:.3f}",
+                f"{m['task_wait-extract']:.3f}",
+                f"{m['task_simsearch']:.3f}",
+                f"{m['cpu_usage']:.0%}",
+                f"{m['gpu_memory_gb']:.1f}",
+                f"{m['system_memory_gb']:.1f}",
+                f"{m['busy_extract']:.0%}",
+                f"{m['busy_simsearch']:.0%}",
+            ]
+        )
+    print_table(table)
+    save_results("fig9_extract_oat", {str(k): v for k, v in rows.items()})
+
+    resp = {e: rows[e]["user_resp_time"] for e in EXTRACT_VALUES}
+    # (a) minimum at 6 threads; 5 and 9 clearly worse.
+    best = min(resp, key=resp.get)
+    assert best == FIG9_EXTRACT_SWEEP["best"], resp
+    assert resp[5] > resp[6]
+    assert resp[9] > resp[7]
+    # (b) wait-extract decreases with more extract threads...
+    waits = [rows[e]["task_wait-extract"] for e in EXTRACT_VALUES]
+    assert waits == sorted(waits, reverse=True)
+    # ...while the simsearch task time increases (CPU competition).
+    simsearch = [rows[e]["task_simsearch"] for e in EXTRACT_VALUES]
+    assert simsearch == sorted(simsearch)
+    # (c) CPU pinned for oversized pools.
+    for e in FIG9_EXTRACT_SWEEP["cpu_saturated_at"]:
+        assert rows[e]["cpu_usage"] > 0.95, e
+    assert rows[5]["cpu_usage"] < rows[9]["cpu_usage"]
+    # (d)+(e) memory grows with the pool.
+    gpu_mem = [rows[e]["gpu_memory_gb"] for e in EXTRACT_VALUES]
+    sys_mem = [rows[e]["system_memory_gb"] for e in EXTRACT_VALUES]
+    assert gpu_mem == sorted(gpu_mem)
+    assert sys_mem == sorted(sys_mem)
+    # (f) extract busy ≈100 % at 5–7, lower at 8–9.
+    for e in FIG9_EXTRACT_SWEEP["extract_busy_100_at"]:
+        assert rows[e]["busy_extract"] > 0.93, e
+    for e in FIG9_EXTRACT_SWEEP["extract_busy_80_100_at"]:
+        assert 0.7 <= rows[e]["busy_extract"] <= 1.0, e
+    assert rows[9]["busy_extract"] < rows[6]["busy_extract"]
+    # (g) simsearch busy rises from ~50-60 % (5–7) to ≥75 % (8–9).
+    assert 0.4 <= rows[5]["busy_simsearch"] <= 0.7
+    for e in (8, 9):
+        assert rows[e]["busy_simsearch"] >= 0.72, e

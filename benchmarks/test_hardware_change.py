@@ -1,0 +1,95 @@
+"""Extension — hardware changes move the optimum (paper Sec. IV).
+
+"Changes in the hardware configuration (e.g., size of GPU memory, number
+of CPU cores, among others) running the Pl@ntNet application will require
+a new search for the thread pool sizes since their configuration strongly
+depends on the hardware. In this case, our optimization methodology should
+be applied again."
+
+We demonstrate exactly that: upgrading the engine node from 40 to 64
+available cores moves the extract-pool optimum from 6 to 8–9 threads and
+unlocks a much lower response time — the 40-core optimum is no longer
+optimal on the new hardware. Validated with the DES at the shifted optimum.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import DURATION, WARMUP, print_table, save_results
+from repro.engine import (
+    AnalyticEngineModel,
+    EngineModelParams,
+    ThreadPoolConfig,
+    simulate_engine,
+)
+from repro.plantnet import PRELIMINARY_OPTIMUM
+from repro.utils.tables import Table
+
+EXTRACT_VALUES = tuple(range(3, 10))
+CORES = (40.0, 64.0)
+
+
+@pytest.fixture(scope="module")
+def curves():
+    out = {}
+    for cores in CORES:
+        model = AnalyticEngineModel(EngineModelParams(cpu_cores=cores))
+        out[cores] = {
+            e: model.response_time(PRELIMINARY_OPTIMUM.replace(extract=e), 80)
+            for e in EXTRACT_VALUES
+        }
+    return out
+
+
+def test_hardware_change_moves_optimum(benchmark, curves):
+    # DES validation of the shifted optimum on the 64-core node.
+    best64 = min(curves[64.0], key=curves[64.0].get)
+
+    def validate():
+        return simulate_engine(
+            PRELIMINARY_OPTIMUM.replace(extract=best64),
+            80,
+            duration=DURATION,
+            warmup=WARMUP,
+            params=EngineModelParams(cpu_cores=64.0),
+            seed=21,
+        )
+
+    des_result = benchmark.pedantic(validate, rounds=1, iterations=1)
+
+    table = Table(
+        ["extract"] + [f"{int(c)} cores (s)" for c in CORES],
+        title="Extract OAT on two hardware configurations (analytic)",
+    )
+    for e in EXTRACT_VALUES:
+        table.add_row([e] + [f"{curves[c][e]:.3f}" for c in CORES])
+    print_table(table)
+    best40 = min(curves[40.0], key=curves[40.0].get)
+    print(
+        f"\noptimum extract: {best40} @40 cores → {best64} @64 cores; "
+        f"DES at the new optimum: {des_result.user_response_time.mean:.3f} s"
+    )
+    save_results(
+        "hardware_change",
+        {
+            "curve_40": {str(k): v for k, v in curves[40.0].items()},
+            "curve_64": {str(k): v for k, v in curves[64.0].items()},
+            "best_40": best40,
+            "best_64": best64,
+            "des_at_best_64": des_result.user_response_time.mean,
+        },
+    )
+
+    # The optimum must move up (more cores lift the CPU ceiling that made
+    # extract pools of 8-9 counterproductive)...
+    assert best64 > best40
+    # ...and the old optimum is clearly suboptimal on the new hardware.
+    assert curves[64.0][best64] < curves[64.0][best40] * 0.90
+    # DES confirms the analytic optimum within 10 %.
+    assert des_result.user_response_time.mean == pytest.approx(
+        curves[64.0][best64], rel=0.10
+    )
+    # More hardware never hurts at fixed configuration.
+    for e in EXTRACT_VALUES:
+        assert curves[64.0][e] <= curves[40.0][e] * 1.01

@@ -1,0 +1,67 @@
+"""Extension — horizontal scale-out of the engine (Sec. V-B outlook).
+
+The paper's capacity question ends, in production, with "add engine
+nodes". This bench sweeps engine replica counts against the spring-peak
+workloads and reports the smallest deployment that meets the 4-second
+tolerance — the refined configuration consistently needs no more nodes
+than the baseline while serving the same load faster.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import DURATION, WARMUP, print_table, save_results
+from repro.plantnet import BASELINE, REFINED_OPTIMUM, ScaleOutScenario
+from repro.utils.tables import Table
+
+LOADS = (160, 240, 320)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return ScaleOutScenario(duration=DURATION, warmup=WARMUP, base_seed=7)
+
+
+def test_scaleout_capacity(benchmark, scenario):
+    benchmark.pedantic(
+        lambda: scenario.run(REFINED_OPTIMUM, 160, replicas=2), rounds=1, iterations=1
+    )
+
+    table = Table(
+        ["load (requests)", "config", "replicas needed", "resp (s)", "total GPU mem"],
+        title="Scale-out — engine nodes needed to stay under 4 s",
+    )
+    rows = {}
+    for load in LOADS:
+        for name, config in (("baseline", BASELINE), ("refined", REFINED_OPTIMUM)):
+            needed, result = scenario.replicas_needed(config, load, tolerance_s=4.0)
+            rows[f"{name}@{load}"] = {
+                "replicas": needed,
+                "resp": result.user_response_time.mean,
+                "gpu_gb": result.total_gpu_memory_gb,
+            }
+            table.add_row(
+                [
+                    load,
+                    name,
+                    needed,
+                    f"{result.user_response_time.mean:.2f}",
+                    f"{result.total_gpu_memory_gb:.0f} GB",
+                ]
+            )
+    print_table(table)
+    save_results("scaleout_capacity", rows)
+
+    for load in LOADS:
+        base = rows[f"baseline@{load}"]
+        refined = rows[f"refined@{load}"]
+        # the refined config never needs MORE nodes, and at equal node
+        # count it is faster and uses less GPU memory per node
+        assert refined["replicas"] <= base["replicas"]
+        if refined["replicas"] == base["replicas"]:
+            assert refined["resp"] < base["resp"]
+            assert refined["gpu_gb"] < base["gpu_gb"]
+    # capacity scales: heavier loads need at least as many replicas
+    needed = [rows[f"refined@{load}"]["replicas"] for load in LOADS]
+    assert needed == sorted(needed)

@@ -1,0 +1,107 @@
+"""Table III — finding the preliminary optimum with Bayesian optimization.
+
+The paper's campaign (Listing 1): Extra-Trees surrogate, LHS initial
+design, gp_hedge acquisition, concurrency limiter of 2; it converged after
+9 guided evaluations to (54, 54, 7, 53) cutting user response time from
+2.657 s to 2.484 s (−7 %) at 80 simultaneous requests.
+
+We re-run the same campaign against the simulated engine. The response
+surface has a broad flat basin around the optimum (H and S barely matter
+past ~50), so the *found configuration* may differ from 54/54/7/53 while
+achieving the same response time — exactly the "multiple minima" caveat
+the paper itself attaches to the word *preliminary*.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import DURATION, WARMUP, print_table, save_results
+from repro.plantnet import BASELINE, PlantNetOptimization
+from repro.plantnet.paper import TABLE_III
+from repro.utils.tables import Table
+
+NUM_SAMPLES = 30
+N_INITIAL = 15
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory, sweep_scenario):
+    workdir = tmp_path_factory.mktemp("table3")
+    optimization = PlantNetOptimization(
+        simultaneous_requests=80,
+        duration=DURATION,
+        warmup=WARMUP,
+        repetitions=1,
+        n_initial_points=N_INITIAL,
+        num_samples=NUM_SAMPLES,
+        max_concurrent=2,
+        workdir=workdir,
+        seed=2021,
+    )
+    summary = optimization.run()
+    baseline = sweep_scenario.run(BASELINE, 80)
+    return summary, baseline
+
+
+def test_table3_preliminary_optimum(benchmark, campaign, sweep_scenario):
+    summary, baseline = campaign
+
+    def validate_best():
+        # re-measure the found optimum independently (fresh seed)
+        from repro.engine.config import ThreadPoolConfig
+
+        cfg = ThreadPoolConfig.from_dict(summary.best_configuration)
+        return sweep_scenario.run(cfg, 80, seed=77)
+
+    best_run = benchmark.pedantic(validate_best, rounds=1, iterations=1)
+
+    paper_base = TABLE_III["baseline"]["user_resp_time"]
+    paper_pre = TABLE_III["preliminary"]["user_resp_time"]
+    found = summary.best_configuration
+    table = Table(
+        ["Thread pool", "paper baseline", "paper preliminary", "our baseline", "our found optimum"],
+        title="Table III — baseline vs preliminary optimum",
+    )
+    paper_pre_cfg = TABLE_III["preliminary"]["config"]
+    for pool in ("http", "download", "extract", "simsearch"):
+        table.add_row(
+            [
+                pool,
+                getattr(TABLE_III["baseline"]["config"], pool),
+                getattr(paper_pre_cfg, pool),
+                getattr(BASELINE, pool),
+                found[pool],
+            ]
+        )
+    measured_base = baseline.user_response_time.mean
+    measured_best = best_run.user_response_time.mean
+    table.add_row(["User response time", paper_base, paper_pre, f"{measured_base:.3f}", f"{measured_best:.3f}"])
+    print_table(table)
+    print(
+        f"\nconverged after {summary.convergence_evaluation} evaluations "
+        f"(paper: {TABLE_III['convergence_evaluations']} past the initial design); "
+        f"{summary.n_evaluations} total"
+    )
+    save_results(
+        "table3_preliminary_optimum",
+        {
+            "found_configuration": found,
+            "found_value": summary.best_value,
+            "revalidated_value": measured_best,
+            "baseline_value": measured_base,
+            "convergence_evaluation": summary.convergence_evaluation,
+            "paper": {"baseline": paper_base, "preliminary": paper_pre},
+        },
+    )
+
+    # Shape assertions:
+    gain = 1.0 - measured_best / measured_base
+    assert gain > 0.025, f"optimum must clearly beat the baseline (gain={gain:.3f})"
+    assert gain < 0.20, "gain should stay in the paper's order of magnitude"
+    # found config respects Eq. 2 bounds and grows the HTTP pool (the paper's
+    # '35 % more simultaneous users' lever)
+    assert found["http"] > BASELINE.http
+    assert 3 <= found["extract"] <= 9
+    # the measured optimum lands near the paper's preliminary value
+    assert measured_best == pytest.approx(paper_pre, rel=0.08)

@@ -1,0 +1,86 @@
+"""Table IV — baseline vs preliminary optimum vs refined optimum.
+
+The paper's final comparison at 80 simultaneous requests:
+
+=============  ========  ============  =========
+Thread pool    baseline  preliminary   refined
+=============  ========  ============  =========
+HTTP           40        54            54
+Download       40        54            54
+Extract        7         7             6
+Simsearch      40        53            53
+Response (s)   2.657     2.484         2.476
+=============  ========  ============  =========
+
+plus the Sec. IV-C resource claim: the refined optimum uses ~30 % less GPU
+memory (7 GB vs 10 GB).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table, save_results
+from repro.plantnet import BASELINE, PRELIMINARY_OPTIMUM, REFINED_OPTIMUM
+from repro.plantnet.paper import GPU_MEMORY_CLAIM, TABLE_IV
+from repro.utils.tables import Table
+
+CONFIGS = {
+    "baseline": BASELINE,
+    "preliminary": PRELIMINARY_OPTIMUM,
+    "refined": REFINED_OPTIMUM,
+}
+
+
+@pytest.fixture(scope="module")
+def results(scenario):
+    return {name: scenario.run(config, 80) for name, config in CONFIGS.items()}
+
+
+def test_table4_three_configs(benchmark, results, scenario):
+    benchmark.pedantic(
+        lambda: scenario.run(REFINED_OPTIMUM, 80, repetitions=1), rounds=1, iterations=1
+    )
+
+    table = Table(
+        ["", "baseline", "preliminary", "refined"],
+        title="Table IV — the three Pl@ntNet configurations (80 requests)",
+    )
+    for pool in ("http", "download", "extract", "simsearch"):
+        table.add_row([pool] + [getattr(CONFIGS[n], pool) for n in CONFIGS])
+    table.add_row(
+        ["measured resp (s)"] + [str(results[n].user_response_time) for n in CONFIGS]
+    )
+    table.add_row(
+        ["paper resp (s)"]
+        + [f"{TABLE_IV[n]['user_resp_time']} (±{TABLE_IV[n]['std']})" for n in CONFIGS]
+    )
+    table.add_row(
+        ["GPU memory (GB)"] + [f"{results[n].aggregate.gpu_memory_gb:.1f}" for n in CONFIGS]
+    )
+    print_table(table)
+    measured = {n: results[n].user_response_time.mean for n in CONFIGS}
+    save_results(
+        "table4_three_configs",
+        {
+            "measured": measured,
+            "paper": {n: TABLE_IV[n]["user_resp_time"] for n in CONFIGS},
+            "gpu_memory_gb": {n: results[n].aggregate.gpu_memory_gb for n in CONFIGS},
+        },
+    )
+
+    # Shape: strict ordering of the three configurations.
+    assert measured["preliminary"] < measured["baseline"]
+    assert measured["refined"] <= measured["preliminary"] * 1.005
+    # Absolute values near the paper's (within 8 %).
+    for name in CONFIGS:
+        assert measured[name] == pytest.approx(TABLE_IV[name]["user_resp_time"], rel=0.08), name
+    # GPU memory claim: ~30 % reduction for the refined optimum.
+    reduction = 1 - results["refined"].aggregate.gpu_memory_gb / results["baseline"].aggregate.gpu_memory_gb
+    assert reduction == pytest.approx(GPU_MEMORY_CLAIM["reduction"], abs=0.05)
+    assert results["baseline"].aggregate.gpu_memory_gb == pytest.approx(
+        GPU_MEMORY_CLAIM["baseline_gb"], rel=0.05
+    )
+    assert results["refined"].aggregate.gpu_memory_gb == pytest.approx(
+        GPU_MEMORY_CLAIM["refined_gb"], rel=0.05
+    )

@@ -1,0 +1,107 @@
+"""A multi-objective Edge-to-Cloud problem (paper Fig. 4, right side).
+
+"Where should the workflow components be executed to minimize
+communication costs and end-to-end latency?" — a single multi-objective
+optimization problem over the whole continuum.
+
+We model a three-stage workflow (preprocess → infer → search) whose stages
+can each be placed on edge, fog or cloud resources. Placement drives both
+end-to-end latency (compute speed + network hops) and monetary cost
+(cloud resources are fast but billed). The optimizer explores placements
+and replica counts; we then extract the Pareto front.
+
+Run:  python examples/multiobjective_continuum.py
+"""
+
+from __future__ import annotations
+
+from repro.bayesopt import Categorical, Integer, Space
+from repro.optimizer import Objective, OptimizationProblem
+from repro.search import SurrogateSearch, run
+from repro.testbed import Link, Site, Testbed
+from repro.utils.tables import Table
+
+#: per-stage compute demand (work units) and output payload (MB).
+STAGES = {"preprocess": (1.0, 0.4), "infer": (8.0, 0.1), "search": (4.0, 0.05)}
+
+#: layer properties: compute speed (work units/s per replica), $/replica-hour.
+LAYERS = {
+    "edge": {"speed": 1.0, "cost": 0.0},
+    "fog": {"speed": 4.0, "cost": 0.08},
+    "cloud": {"speed": 16.0, "cost": 0.50},
+}
+
+_testbed = Testbed("continuum", [Site("s")])
+_testbed.network.constrain("edge", "fog", latency_ms=15.0, bandwidth_gbps=0.05)
+_testbed.network.constrain("fog", "cloud", latency_ms=35.0, bandwidth_gbps=1.0)
+
+
+def evaluate(config: dict) -> dict[str, float]:
+    """Latency + cost of one placement (analytic pipeline model)."""
+    latency = 0.0
+    cost = 0.0
+    location = "edge"  # data originates at the edge
+    for stage, (work, payload_mb) in STAGES.items():
+        target = config[f"{stage}_layer"]
+        replicas = config[f"{stage}_replicas"]
+        path = _testbed.network.path(location, target)
+        latency += path.transfer_time(payload_mb * 1e6)
+        layer = LAYERS[target]
+        latency += work / (layer["speed"] * replicas)
+        cost += layer["cost"] * replicas
+        location = target
+    return {"latency": latency, "cost": cost}
+
+
+def main() -> None:
+    dimensions = []
+    for stage in STAGES:
+        dimensions.append(Categorical(list(LAYERS), name=f"{stage}_layer"))
+        dimensions.append(Integer(1, 8, name=f"{stage}_replicas"))
+    space = Space(dimensions)
+
+    problem = OptimizationProblem(
+        space,
+        [Objective("latency", "min", weight=1.0), Objective("cost", "max" if False else "min", weight=0.3)],
+    )
+
+    def trainable(config: dict) -> dict[str, float]:
+        metrics = evaluate(config)
+        metrics["objective"] = problem.scalarize(metrics)
+        return metrics
+
+    analysis = run(
+        trainable,
+        search_alg=SurrogateSearch(
+            space, base_estimator="ET", n_initial_points=20, random_state=0
+        ),
+        metric="objective",
+        num_samples=80,
+        name="continuum-placement",
+    )
+
+    evaluations = [t.result for t in analysis.trials if "latency" in t.result]
+    front = problem.pareto_front(evaluations)
+    table = Table(
+        ["latency (s)", "cost ($/h)", "placement"],
+        title=f"Pareto front ({len(front)} of {len(evaluations)} evaluations)",
+    )
+    for index in sorted(front, key=lambda i: evaluations[i]["latency"]):
+        config = analysis.trials[index].config
+        placement = " → ".join(
+            f"{stage}@{config[f'{stage}_layer']}x{config[f'{stage}_replicas']}"
+            for stage in STAGES
+        )
+        table.add_row(
+            [f"{evaluations[index]['latency']:.3f}", f"{evaluations[index]['cost']:.2f}", placement]
+        )
+    print(table.render())
+    print(
+        "\nReading: cheap all-edge placements pay in latency; renting faster"
+        " layers for the heavy inference stage buys latency for money — the"
+        " trade-off curve the paper's Fig. 4 (right) sketches."
+    )
+
+
+if __name__ == "__main__":
+    main()

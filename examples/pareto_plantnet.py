@@ -1,0 +1,74 @@
+"""Multi-objective Pl@ntNet: response time vs GPU memory (NSGA-II).
+
+The paper's conclusions advertise *both* a lower response time *and* 30 %
+less GPU memory. Those two goals conflict across the full Eq. 2 space
+(more extract threads buy extraction throughput but cost GPU memory), so
+the natural formulation is bi-objective. This example recovers the whole
+response-time / GPU-memory Pareto front with NSGA-II over the analytic
+engine twin and locates the paper's configurations on it.
+
+Run:  python examples/pareto_plantnet.py
+"""
+
+from repro.engine import AnalyticEngineModel, GpuModel, EngineModelParams, ThreadPoolConfig
+from repro.metaheuristics import NSGA2
+from repro.plantnet import BASELINE, REFINED_OPTIMUM, paper_search_space
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    model = AnalyticEngineModel()
+    gpu = GpuModel(EngineModelParams())
+
+    def objectives(point: list) -> tuple[float, float]:
+        http, download, simsearch, extract = point
+        config = ThreadPoolConfig(
+            http=http, download=download, extract=extract, simsearch=simsearch
+        )
+        return (
+            model.response_time(config, 80),
+            gpu.memory_gb(extract),
+        )
+
+    front = NSGA2(population_size=48, seed=0).minimize_multi(
+        objectives, paper_search_space(), n_iterations=40
+    )
+
+    table = Table(
+        ["resp (s)", "GPU mem (GB)", "configuration (H/D/S/E)"],
+        title=f"Pareto front: response time vs GPU memory ({len(front)} points, "
+        f"{front.n_evaluations} evaluations)",
+    )
+    shown: set[tuple[float, float]] = set()
+    for point, values in sorted(zip(front.points, front.values), key=lambda pv: pv[1][0]):
+        key = (round(values[0], 4), round(values[1], 2))
+        if key in shown:  # many configs tie on the objectives; show one each
+            continue
+        shown.add(key)
+        http, download, simsearch, extract = point
+        table.add_row(
+            [f"{values[0]:.3f}", f"{values[1]:.1f}", f"{http}/{download}/{simsearch}/{extract}"]
+        )
+    print(table.render())
+
+    base = objectives([BASELINE.http, BASELINE.download, BASELINE.simsearch, BASELINE.extract])
+    refined = objectives(
+        [REFINED_OPTIMUM.http, REFINED_OPTIMUM.download, REFINED_OPTIMUM.simsearch, REFINED_OPTIMUM.extract]
+    )
+    print(f"\nbaseline:        resp {base[0]:.3f} s at {base[1]:.1f} GB (dominated)")
+    print(f"refined optimum: resp {refined[0]:.3f} s at {refined[1]:.1f} GB")
+    dominated = any(
+        v[0] <= refined[0] + 1e-9 and v[1] <= refined[1] + 1e-9 and
+        (v[0] < refined[0] - 1e-9 or v[1] < refined[1] - 1e-9)
+        for v in front.values
+    )
+    print(
+        "→ the paper's refined optimum sits "
+        + ("essentially on" if not dominated else "near")
+        + " the Pareto front: extract=6 is the memory-cheapest way to the"
+        " fast-response basin, which NSGA-II rediscovers without OAT."
+    )
+
+
+if __name__ == "__main__":
+    main()

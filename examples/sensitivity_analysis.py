@@ -1,0 +1,79 @@
+"""Sensitivity analysis of the Pl@ntNet engine (paper Sec. IV-C, extended).
+
+Reproduces the Fig. 9 one-at-a-time study around the preliminary optimum
+and extends it with Morris elementary-effects screening over the whole
+Eq. 2 space — answering "which thread pool matters most?" globally rather
+than around a single point.
+
+Run:  python examples/sensitivity_analysis.py
+"""
+
+from repro.engine import AnalyticEngineModel, ThreadPoolConfig
+from repro.plantnet import PRELIMINARY_OPTIMUM, PlantNetScenario, paper_search_space
+from repro.sensitivity import MorrisAnalysis, OATAnalysis, ParameterSweep
+from repro.utils.tables import Table
+
+
+def oat_study() -> None:
+    scenario = PlantNetScenario(duration=300.0, warmup=60.0, repetitions=1, base_seed=5)
+    analysis = OATAnalysis(
+        lambda cfg: scenario.evaluate(cfg, 80, seed=5),
+        PRELIMINARY_OPTIMUM.to_dict(),
+    )
+    result = analysis.run(
+        [
+            ParameterSweep.around("extract", 7, 2, minimum=3),
+            ParameterSweep.around("simsearch", 53, 3, minimum=20),
+        ]
+    )
+
+    table = Table(
+        ["extract", "resp (s)", "CPU", "extract busy", "simsearch busy"],
+        title="OAT: extract pool around the preliminary optimum (Fig. 9)",
+    )
+    for value, metrics in result.sweeps["extract"]:
+        table.add_row(
+            [
+                value,
+                f"{metrics['user_resp_time']:.3f}",
+                f"{metrics['cpu_usage']:.0%}",
+                f"{metrics['busy_extract']:.0%}",
+                f"{metrics['busy_simsearch']:.0%}",
+            ]
+        )
+    print(table.render())
+    best_extract, best_value = result.best("extract", "user_resp_time")
+    print(f"→ OAT minimum at extract={best_extract} ({best_value:.3f} s); the paper adopts 6.\n")
+
+
+def morris_study() -> None:
+    # Morris over the whole space needs many evaluations: use the fast
+    # analytic twin (validated against the DES in the benchmarks).
+    model = AnalyticEngineModel()
+
+    def objective(point: list) -> float:
+        http, download, simsearch, extract = point
+        return model.response_time(
+            ThreadPoolConfig(http=http, download=download, extract=extract, simsearch=simsearch),
+            80,
+        )
+
+    result = MorrisAnalysis(objective, paper_search_space(), seed=0).run(n_trajectories=30)
+    table = Table(
+        ["thread pool", "mu_star (importance)", "sigma (interactions)"],
+        title="Morris screening over the Eq. 2 space (extension)",
+    )
+    for name, mu_star, sigma in zip(result.names, result.mu_star, result.sigma):
+        table.add_row([name, f"{mu_star:.3f}", f"{sigma:.3f}"])
+    print(table.render())
+    print(f"→ global importance ranking: {' > '.join(result.ranking())}")
+    print(
+        "  (globally, the HTTP admission pool dominates — it spans 20–60 —\n"
+        "   while around the optimum the extract pool drives the trade-off,\n"
+        "   which is why the paper's local OAT zooms on extract/simsearch)"
+    )
+
+
+if __name__ == "__main__":
+    oat_study()
+    morris_study()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment for this reproduction is offline and lacks the
+``wheel`` package, so PEP 517 editable installs fail. Keeping a ``setup.py``
+lets ``pip install -e .`` fall back to the legacy ``develop`` path. All
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

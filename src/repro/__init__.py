@@ -1,0 +1,32 @@
+"""repro — reproduction of the CLUSTER 2021 E2Clab optimization paper.
+
+This package reproduces *"Reproducible Performance Optimization of Complex
+Applications on the Edge-to-Cloud Continuum"* (Rosendo et al., CLUSTER 2021)
+as a self-contained Python library:
+
+- :mod:`repro.simcore` — a discrete-event simulation kernel (SimPy-like).
+- :mod:`repro.testbed` — a Grid'5000-like testbed simulator (clusters, nodes,
+  GPUs, network emulation, reservations, deployments).
+- :mod:`repro.engine` — a calibrated simulation of the Pl@ntNet
+  Identification Engine (thread pools, task pipeline, CPU/GPU contention).
+- :mod:`repro.optimizer` — the paper's contribution: the three-phase
+  optimization methodology and the E2Clab *Optimization Manager*.
+- :mod:`repro.bayesopt`, :mod:`repro.surrogate`, :mod:`repro.sampling` — a
+  scikit-optimize-like Bayesian optimization stack built from scratch.
+- :mod:`repro.search` — a Ray-Tune-like asynchronous parallel trial runner.
+- :mod:`repro.metaheuristics` — GA / DE / SA / PSO for short-running apps.
+- :mod:`repro.sensitivity` — one-at-a-time and Morris sensitivity analysis.
+- :mod:`repro.plantnet` — the Pl@ntNet application layer with the paper's
+  baseline / preliminary-optimum / refined-optimum configurations.
+
+Quickstart::
+
+    from repro.plantnet import PlantNetScenario, BASELINE
+    scenario = PlantNetScenario(config=BASELINE, simultaneous_requests=80)
+    result = scenario.run(seed=0)
+    print(result.user_response_time.mean)
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,40 @@
+"""Sequential model-based (Bayesian) optimization, scikit-optimize style.
+
+This package provides the optimizer the paper configures in Listing 1::
+
+    Optimizer(
+        base_estimator="ET",
+        n_initial_points=45,
+        initial_point_generator="lhs",
+        acq_func="gp_hedge",
+    )
+
+- :mod:`repro.bayesopt.space` — search-space dimensions (Real / Integer /
+  Categorical) with unit-cube transforms.
+- :mod:`repro.bayesopt.acquisition` — EI / PI / LCB and the gp_hedge
+  portfolio.
+- :mod:`repro.bayesopt.optimizer` — the ask/tell loop with constant-liar
+  support for asynchronous parallel evaluation (the paper's optimization
+  cycle evaluates several configurations simultaneously).
+"""
+
+from repro.bayesopt.space import Categorical, Dimension, Integer, Real, Space
+from repro.bayesopt.acquisition import (
+    expected_improvement,
+    lower_confidence_bound,
+    probability_of_improvement,
+)
+from repro.bayesopt.optimizer import Optimizer, OptimizeResult
+
+__all__ = [
+    "Space",
+    "Dimension",
+    "Real",
+    "Integer",
+    "Categorical",
+    "expected_improvement",
+    "probability_of_improvement",
+    "lower_confidence_bound",
+    "Optimizer",
+    "OptimizeResult",
+]

@@ -1,0 +1,269 @@
+"""The ask/tell sequential model-based optimizer (skopt's ``Optimizer``).
+
+Supports the exact knobs of the paper's Listing 1 (base estimator alias,
+initial point count and generator, ``gp_hedge`` acquisition portfolio) plus
+**constant-liar** pending-point handling so several configurations can be
+evaluated in parallel — the heart of the paper's asynchronous optimization
+cycle.
+
+gp_hedge follows the Hedge bandit of Hoffman et al. (2011), as adopted by
+scikit-optimize: each base acquisition (EI, PI, LCB) proposes a candidate,
+one proposal is drawn with probability ``softmax(η · gains)``, and after the
+objective value arrives the chosen strategy's gain is updated with the
+realized improvement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.bayesopt.acquisition import (
+    expected_improvement,
+    lower_confidence_bound,
+    probability_of_improvement,
+)
+from repro.bayesopt.space import Dimension, Space
+from repro.errors import OptimizationError, ValidationError
+from repro.sampling import get_sampler
+from repro.surrogate import SurrogateModel, get_surrogate
+
+__all__ = ["Optimizer", "OptimizeResult"]
+
+_HEDGE_ACQS = ("EI", "PI", "LCB")
+
+
+@dataclass
+class OptimizeResult:
+    """Best-so-far view over everything the optimizer was told."""
+
+    x: list[Any]
+    fun: float
+    x_iters: list[list[Any]] = field(default_factory=list)
+    func_vals: list[float] = field(default_factory=list)
+    space: Space | None = None
+    n_initial_points: int = 0
+
+    @property
+    def n_evaluations(self) -> int:
+        return len(self.func_vals)
+
+    def best_after(self, n: int) -> float:
+        """Best objective among the first ``n`` evaluations."""
+        if n < 1 or n > len(self.func_vals):
+            raise ValidationError(f"n must be in [1, {len(self.func_vals)}]")
+        return float(np.min(self.func_vals[:n]))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "x": self.x,
+            "fun": self.fun,
+            "x_iters": self.x_iters,
+            "func_vals": list(self.func_vals),
+            "n_initial_points": self.n_initial_points,
+        }
+
+
+class Optimizer:
+    """Sequential model-based minimizer with ask/tell interface.
+
+    Parameters mirror scikit-optimize:
+
+    - ``base_estimator``: surrogate alias (``"ET"``, ``"RF"``, ``"GBRT"``,
+      ``"GP"``, ...) or a :class:`~repro.surrogate.base.SurrogateModel`
+      factory.
+    - ``n_initial_points``: evaluations taken from the initial design
+      before the surrogate drives the search.
+    - ``initial_point_generator``: sampler name (``"lhs"``, ``"sobol"``,
+      ``"halton"``, ``"random"``, ``"grid"``).
+    - ``acq_func``: ``"EI"``, ``"PI"``, ``"LCB"`` or ``"gp_hedge"``.
+    - ``lie_strategy``: fantasy value for pending points — ``"cl_min"``
+      (optimistic), ``"cl_mean"``, or ``"cl_max"`` (pessimistic).
+    """
+
+    def __init__(
+        self,
+        dimensions: Space | Sequence[Dimension],
+        *,
+        base_estimator: str | Callable[[], SurrogateModel] = "ET",
+        n_initial_points: int = 10,
+        initial_point_generator: str = "lhs",
+        acq_func: str = "gp_hedge",
+        acq_n_candidates: int = 2000,
+        xi: float = 0.01,
+        kappa: float = 1.96,
+        lie_strategy: str = "cl_min",
+        hedge_eta: float = 1.0,
+        random_state: int | None = None,
+    ) -> None:
+        self.space = dimensions if isinstance(dimensions, Space) else Space(dimensions)
+        if n_initial_points < 1:
+            raise ValidationError("n_initial_points must be >= 1")
+        if acq_func not in ("EI", "PI", "LCB", "gp_hedge"):
+            raise ValidationError(f"unknown acq_func {acq_func!r}")
+        if lie_strategy not in ("cl_min", "cl_mean", "cl_max"):
+            raise ValidationError(f"unknown lie_strategy {lie_strategy!r}")
+        self.base_estimator = base_estimator
+        self.n_initial_points = int(n_initial_points)
+        self.acq_func = acq_func
+        self.acq_n_candidates = int(acq_n_candidates)
+        self.xi = float(xi)
+        self.kappa = float(kappa)
+        self.lie_strategy = lie_strategy
+        self.hedge_eta = float(hedge_eta)
+        self.rng = np.random.default_rng(random_state)
+
+        sampler = get_sampler(initial_point_generator)
+        self._initial_points = sampler.generate(
+            self.n_initial_points, len(self.space), self.rng
+        )
+        self._initial_cursor = 0
+
+        self.Xi_unit: list[np.ndarray] = []
+        self.yi: list[float] = []
+        #: pending = (unit point, decoded point, hedge acq). Matching in
+        #: tell() uses the *decoded* point: integer/categorical dimensions
+        #: collapse many unit coordinates onto one native value, so the
+        #: caller's x would not reproduce the asked unit coordinate.
+        self._pending: list[tuple[np.ndarray, list[Any], str | None]] = []
+        self._gains = np.zeros(len(_HEDGE_ACQS))
+        self.models: list[SurrogateModel] = []
+
+    # -- surrogate construction -----------------------------------------------------
+
+    def _new_model(self) -> SurrogateModel:
+        if callable(self.base_estimator):
+            return self.base_estimator()
+        seed = int(self.rng.integers(0, 2**31))
+        try:
+            return get_surrogate(self.base_estimator, random_state=seed)
+        except TypeError:
+            return get_surrogate(self.base_estimator)
+
+    # -- ask -----------------------------------------------------------------------
+
+    def ask(self) -> list[Any]:
+        """Next point to evaluate (registers it as pending)."""
+        unit, acq_name = self._ask_unit()
+        point = self.space.inverse_transform(unit[None, :])[0]
+        self._pending.append((unit, point, acq_name))
+        return point
+
+    def _ask_unit(self) -> tuple[np.ndarray, str | None]:
+        if self._initial_cursor < self.n_initial_points or len(self.yi) == 0:
+            idx = self._initial_cursor % self.n_initial_points
+            self._initial_cursor += 1
+            if self._initial_cursor > self.n_initial_points:
+                # Initial design exhausted while nothing was told yet:
+                # fall back to uniform random to keep asks distinct.
+                return self.rng.random(len(self.space)), None
+            return self._initial_points[idx].copy(), None
+
+        X, y = self._augmented_data()
+        model = self._new_model()
+        model.fit(X, y)
+        self.models.append(model)
+
+        candidates = self.rng.random((self.acq_n_candidates, len(self.space)))
+        mu, std = model.predict(candidates, return_std=True)
+        y_best = float(np.min(y))
+
+        if self.acq_func == "gp_hedge":
+            probs = self._hedge_probabilities()
+            choice = int(self.rng.choice(len(_HEDGE_ACQS), p=probs))
+            acq_name = _HEDGE_ACQS[choice]
+        else:
+            acq_name = self.acq_func
+
+        scores = self._acquisition(acq_name, mu, std, y_best)
+        order = np.argsort(scores)[::-1]
+        taken = {tuple(np.round(u, 6)) for u, _, _ in self._pending}
+        taken.update(tuple(np.round(u, 6)) for u in self.Xi_unit)
+        for idx in order:
+            key = tuple(np.round(candidates[idx], 6))
+            if key not in taken:
+                return candidates[idx], acq_name if self.acq_func == "gp_hedge" else None
+        # Every candidate collides (tiny spaces): random fallback.
+        return self.rng.random(len(self.space)), None
+
+    def _acquisition(
+        self, name: str, mu: np.ndarray, std: np.ndarray, y_best: float
+    ) -> np.ndarray:
+        if name == "EI":
+            return expected_improvement(mu, std, y_best, self.xi)
+        if name == "PI":
+            return probability_of_improvement(mu, std, y_best, self.xi)
+        if name == "LCB":
+            return lower_confidence_bound(mu, std, self.kappa)
+        raise ValidationError(f"unknown acquisition {name!r}")  # pragma: no cover
+
+    def _hedge_probabilities(self) -> np.ndarray:
+        scaled = self.hedge_eta * (self._gains - self._gains.max())
+        exp = np.exp(scaled)
+        return exp / exp.sum()
+
+    def _augmented_data(self) -> tuple[np.ndarray, np.ndarray]:
+        """Observed data plus constant-liar fantasies for pending points."""
+        X = list(self.Xi_unit)
+        y = list(self.yi)
+        if self._pending and y:
+            if self.lie_strategy == "cl_min":
+                lie = float(np.min(y))
+            elif self.lie_strategy == "cl_mean":
+                lie = float(np.mean(y))
+            else:
+                lie = float(np.max(y))
+            for unit, _, _ in self._pending:
+                X.append(unit)
+                y.append(lie)
+        return np.asarray(X), np.asarray(y)
+
+    # -- tell ----------------------------------------------------------------------
+
+    def tell(self, x: Sequence[Any], y: float) -> OptimizeResult:
+        """Report an observed objective value for ``x``."""
+        if not math.isfinite(y):
+            raise ValidationError(f"objective value must be finite, got {y}")
+        unit = self.space.transform([list(x)])[0]
+        acq_name = self._pop_pending(unit, list(x))
+        if acq_name is not None:
+            improvement = max(0.0, (min(self.yi) if self.yi else y) - y)
+            self._gains[_HEDGE_ACQS.index(acq_name)] += improvement
+        self.Xi_unit.append(unit)
+        self.yi.append(float(y))
+        return self.result()
+
+    def _pop_pending(self, unit: np.ndarray, x: list[Any]) -> str | None:
+        for i, (pending_unit, pending_point, acq_name) in enumerate(self._pending):
+            if pending_point == x or np.allclose(pending_unit, unit, atol=1e-6):
+                self._pending.pop(i)
+                return acq_name
+        return None
+
+    # -- results ---------------------------------------------------------------------
+
+    def result(self) -> OptimizeResult:
+        if not self.yi:
+            raise OptimizationError("no evaluations told yet")
+        best = int(np.argmin(self.yi))
+        x_iters = [self.space.inverse_transform(u[None, :])[0] for u in self.Xi_unit]
+        return OptimizeResult(
+            x=x_iters[best],
+            fun=float(self.yi[best]),
+            x_iters=x_iters,
+            func_vals=list(self.yi),
+            space=self.space,
+            n_initial_points=self.n_initial_points,
+        )
+
+    def run(self, func: Callable[[list[Any]], float], n_calls: int) -> OptimizeResult:
+        """Sequential convenience loop: ask → evaluate → tell, n times."""
+        if n_calls < 1:
+            raise ValidationError("n_calls must be >= 1")
+        for _ in range(n_calls):
+            x = self.ask()
+            self.tell(x, float(func(x)))
+        return self.result()

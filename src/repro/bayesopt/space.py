@@ -1,0 +1,193 @@
+"""Search-space dimensions and the unit-cube transform.
+
+Surrogates and samplers operate in the normalized cube ``[0, 1]^d``; the
+:class:`Space` maps between that cube and native values (floats, ints,
+categories). Integer dimensions round symmetrically so every integer in the
+range owns an equal slice of the unit interval.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["Dimension", "Real", "Integer", "Categorical", "Space"]
+
+
+class Dimension(abc.ABC):
+    """One search-space axis."""
+
+    name: str = ""
+
+    @abc.abstractmethod
+    def to_unit(self, value: Any) -> float:
+        """Map a native value into [0, 1]."""
+
+    @abc.abstractmethod
+    def from_unit(self, u: float) -> Any:
+        """Map a unit-cube coordinate to a native value."""
+
+    @abc.abstractmethod
+    def contains(self, value: Any) -> bool:
+        """Whether a native value lies within the dimension."""
+
+
+class Real(Dimension):
+    """A continuous dimension, optionally log-uniform."""
+
+    def __init__(self, low: float, high: float, *, prior: str = "uniform", name: str = "") -> None:
+        if not low < high:
+            raise ValidationError(f"need low < high, got [{low}, {high}]")
+        if prior not in ("uniform", "log-uniform"):
+            raise ValidationError(f"unknown prior {prior!r}")
+        if prior == "log-uniform" and low <= 0:
+            raise ValidationError("log-uniform needs low > 0")
+        self.low = float(low)
+        self.high = float(high)
+        self.prior = prior
+        self.name = name
+
+    def to_unit(self, value: Any) -> float:
+        v = float(value)
+        if self.prior == "log-uniform":
+            return (math.log(v) - math.log(self.low)) / (
+                math.log(self.high) - math.log(self.low)
+            )
+        return (v - self.low) / (self.high - self.low)
+
+    def from_unit(self, u: float) -> float:
+        u = min(max(float(u), 0.0), 1.0)
+        if self.prior == "log-uniform":
+            return math.exp(
+                math.log(self.low) + u * (math.log(self.high) - math.log(self.low))
+            )
+        return self.low + u * (self.high - self.low)
+
+    def contains(self, value: Any) -> bool:
+        return self.low <= float(value) <= self.high
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Real({self.low}, {self.high}, name={self.name!r})"
+
+
+class Integer(Dimension):
+    """An integer dimension with inclusive bounds (``tune.randint``-like,
+    but inclusive on both ends as in the paper's Eq. 2)."""
+
+    def __init__(self, low: int, high: int, *, name: str = "") -> None:
+        if not int(low) <= int(high):
+            raise ValidationError(f"need low <= high, got [{low}, {high}]")
+        self.low = int(low)
+        self.high = int(high)
+        self.name = name
+
+    @property
+    def count(self) -> int:
+        return self.high - self.low + 1
+
+    def to_unit(self, value: Any) -> float:
+        v = int(value)
+        # Centre of the value's slice of the unit interval.
+        return (v - self.low + 0.5) / self.count
+
+    def from_unit(self, u: float) -> int:
+        u = min(max(float(u), 0.0), np.nextafter(1.0, 0.0))
+        return self.low + int(u * self.count)
+
+    def contains(self, value: Any) -> bool:
+        return float(value).is_integer() and self.low <= int(value) <= self.high
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Integer({self.low}, {self.high}, name={self.name!r})"
+
+
+class Categorical(Dimension):
+    """An unordered categorical dimension (ordinal-encoded in the cube)."""
+
+    def __init__(self, categories: Sequence[Any], *, name: str = "") -> None:
+        cats = list(categories)
+        if len(cats) < 2:
+            raise ValidationError("need at least two categories")
+        if len(set(map(repr, cats))) != len(cats):
+            raise ValidationError("categories must be distinct")
+        self.categories = cats
+        self.name = name
+
+    def to_unit(self, value: Any) -> float:
+        try:
+            index = self.categories.index(value)
+        except ValueError:
+            raise ValidationError(f"{value!r} not among categories") from None
+        return (index + 0.5) / len(self.categories)
+
+    def from_unit(self, u: float) -> Any:
+        u = min(max(float(u), 0.0), np.nextafter(1.0, 0.0))
+        return self.categories[int(u * len(self.categories))]
+
+    def contains(self, value: Any) -> bool:
+        return any(value == c for c in self.categories)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Categorical({self.categories!r}, name={self.name!r})"
+
+
+class Space:
+    """An ordered collection of dimensions with cube transforms."""
+
+    def __init__(self, dimensions: Iterable[Dimension]) -> None:
+        self.dimensions = list(dimensions)
+        if not self.dimensions:
+            raise ValidationError("space needs at least one dimension")
+        for i, dim in enumerate(self.dimensions):
+            if not dim.name:
+                dim.name = f"x{i}"
+        names = [d.name for d in self.dimensions]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate dimension names: {names}")
+
+    def __len__(self) -> int:
+        return len(self.dimensions)
+
+    def __iter__(self):
+        return iter(self.dimensions)
+
+    @property
+    def names(self) -> list[str]:
+        return [d.name for d in self.dimensions]
+
+    def transform(self, points: Sequence[Sequence[Any]]) -> np.ndarray:
+        """Native points → unit-cube array (n, d)."""
+        out = np.empty((len(points), len(self.dimensions)))
+        for i, point in enumerate(points):
+            if len(point) != len(self.dimensions):
+                raise ValidationError(
+                    f"point has {len(point)} values, space has {len(self.dimensions)}"
+                )
+            for j, (dim, value) in enumerate(zip(self.dimensions, point)):
+                out[i, j] = dim.to_unit(value)
+        return out
+
+    def inverse_transform(self, unit_points: np.ndarray) -> list[list[Any]]:
+        """Unit-cube array → native points."""
+        unit_points = np.atleast_2d(np.asarray(unit_points, dtype=float))
+        return [
+            [dim.from_unit(u) for dim, u in zip(self.dimensions, row)]
+            for row in unit_points
+        ]
+
+    def contains(self, point: Sequence[Any]) -> bool:
+        return len(point) == len(self.dimensions) and all(
+            dim.contains(v) for dim, v in zip(self.dimensions, point)
+        )
+
+    def to_dict(self, point: Sequence[Any]) -> dict[str, Any]:
+        """Zip a point with dimension names."""
+        return dict(zip(self.names, point))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Space({self.dimensions!r})"

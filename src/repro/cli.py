@@ -1,0 +1,149 @@
+"""Command-line interface — the ``e2clab optimize`` analogue.
+
+Subcommands::
+
+    e2clab-repro optimize CONF.json [--repeat N] [--duration S]
+        Run a full optimization campaign from an optimizer_conf file
+        against the Pl@ntNet scenario (the paper's `e2clab optimize
+        --repeat 6 --duration 1380 ...` workflow).
+
+    e2clab-repro scenario [--config baseline|preliminary|refined]
+                          [--requests N] [--duration S] [--repetitions K]
+        Run one configuration and print its metrics.
+
+    e2clab-repro calibration [--evaluator analytic|des]
+        Print the model-vs-paper calibration report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.engine.calibration import calibration_report
+from repro.engine.config import ThreadPoolConfig
+from repro.optimizer import OptimizationManager, OptimizerConf
+from repro.plantnet import (
+    BASELINE,
+    PRELIMINARY_OPTIMUM,
+    REFINED_OPTIMUM,
+    PlantNetScenario,
+)
+from repro.utils.tables import Table
+from repro.version import __version__
+
+__all__ = ["main", "build_parser"]
+
+_NAMED_CONFIGS = {
+    "baseline": BASELINE,
+    "preliminary": PRELIMINARY_OPTIMUM,
+    "refined": REFINED_OPTIMUM,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="e2clab-repro",
+        description="Reproduction of the CLUSTER'21 E2Clab optimization paper.",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_opt = sub.add_parser("optimize", help="run an optimizer_conf campaign")
+    p_opt.add_argument("conf", help="path to the optimizer_conf JSON file")
+    p_opt.add_argument("--repeat", type=int, default=None, help="extra validation runs of the best config")
+    p_opt.add_argument("--duration", type=float, default=None, help="validation run duration (simulated seconds)")
+
+    p_sc = sub.add_parser("scenario", help="run one Pl@ntNet configuration")
+    p_sc.add_argument("--config", default="baseline", help="baseline|preliminary|refined or h,d,e,s")
+    p_sc.add_argument("--requests", type=int, default=80)
+    p_sc.add_argument("--duration", type=float, default=300.0)
+    p_sc.add_argument("--repetitions", type=int, default=1)
+    p_sc.add_argument("--seed", type=int, default=0)
+
+    p_cal = sub.add_parser("calibration", help="print paper-vs-model calibration")
+    p_cal.add_argument("--evaluator", choices=("analytic", "des"), default="analytic")
+    return parser
+
+
+def _parse_config(text: str) -> ThreadPoolConfig:
+    if text in _NAMED_CONFIGS:
+        return _NAMED_CONFIGS[text]
+    parts = [int(p) for p in text.split(",")]
+    if len(parts) != 4:
+        raise SystemExit(
+            f"--config must be one of {sorted(_NAMED_CONFIGS)} or 'http,download,extract,simsearch'"
+        )
+    return ThreadPoolConfig(http=parts[0], download=parts[1], extract=parts[2], simsearch=parts[3])
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    conf = OptimizerConf.from_json(args.conf)
+    if args.repeat is not None:
+        conf.repeat = args.repeat
+    if args.duration is not None:
+        conf.duration = args.duration
+
+    scenario = PlantNetScenario(duration=conf.duration or 300.0, base_seed=conf.seed or 0)
+
+    def evaluator(config: dict, seed: int | None = None, duration: float | None = None):
+        return scenario.evaluate(config, seed=seed, duration=duration)
+
+    manager = OptimizationManager(conf, evaluator=evaluator)
+    outcome = manager.run()
+    print(outcome.summary.render())
+    if outcome.validation is not None:
+        print(f"\nvalidation over {len(outcome.validation_runs)} runs: {outcome.validation}")
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    config = _parse_config(args.config)
+    scenario = PlantNetScenario(
+        duration=args.duration, repetitions=args.repetitions, base_seed=args.seed
+    )
+    result = scenario.run(config, args.requests)
+    table = Table(["metric", "value"], title=f"Pl@ntNet {config} @ {args.requests} requests")
+    for key, value in result.metrics().items():
+        table.add_row([key, value])
+    print(table.render())
+    return 0
+
+
+def _cmd_calibration(args: argparse.Namespace) -> int:
+    report = calibration_report(evaluator=args.evaluator)
+    table = Table(
+        ["target", "source", "paper", "measured", "rel. error", "ok"],
+        title=f"Calibration report ({args.evaluator})",
+    )
+    ok = True
+    for row in report:
+        table.add_row(
+            [
+                row["target"],
+                row["source"],
+                row["paper"],
+                round(float(row["measured"]), 3),
+                f"{float(row['relative_error']):+.1%}",
+                "yes" if row["within_tolerance"] else "NO",
+            ]
+        )
+        ok = ok and bool(row["within_tolerance"])
+    print(table.render())
+    return 0 if ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "optimize":
+        return _cmd_optimize(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
+    if args.command == "calibration":
+        return _cmd_calibration(args)
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Simulation of the Pl@ntNet Identification Engine.
+
+The engine (paper Sec. II-A) identifies plant species from user photos. Its
+performance is governed by four thread pools (paper Table II):
+
+============ ===== ============================================= ========
+Thread pool  Size  Role                                          Hardware
+============ ===== ============================================= ========
+HTTP         40    simultaneous requests being processed         CPU
+Download     40    simultaneous images being downloaded          CPU
+Extract      7     simultaneous DNN inferences on one GPU        GPU
+Simsearch    40    simultaneous similarity searches              CPU
+============ ===== ============================================= ========
+
+Each request runs the nine-step pipeline of paper Table I (pre-process,
+wait-download, download, wait-extract, extract, process, wait-simsearch,
+simsearch, post-process). This module reproduces that system as a
+discrete-event simulation with:
+
+- a closed-loop workload of N simultaneous requests,
+- a CPU-contention model (40 available cores; service-time inflation when
+  aggregate demand exceeds supply),
+- a GPU model (per-inference latency growing with concurrency; memory
+  footprint growing with the extract pool size),
+- a monitor sampling every metric the paper reports at 10 s intervals.
+
+The free constants of the model are calibrated against the paper's measured
+numbers — see :mod:`repro.engine.calibration`.
+
+A fast analytic (fluid / approximate-MVA) twin of the same model lives in
+:mod:`repro.engine.analytic` for cheap search-space exploration and for the
+DES-vs-analytic ablation.
+"""
+
+from repro.engine.config import (
+    EngineModelParams,
+    ThreadPoolConfig,
+    WorkloadSpec,
+    BASELINE_CONFIG,
+    PAPER_SPACE_BOUNDS,
+)
+from repro.engine.tasks import TaskType
+from repro.engine.engine import IdentificationEngine, EngineRunResult, simulate_engine
+from repro.engine.analytic import AnalyticEngineModel, AnalyticResult
+from repro.engine.gpu import GpuModel
+from repro.engine.cpumodel import CpuContentionModel
+
+__all__ = [
+    "EngineModelParams",
+    "ThreadPoolConfig",
+    "WorkloadSpec",
+    "BASELINE_CONFIG",
+    "PAPER_SPACE_BOUNDS",
+    "TaskType",
+    "IdentificationEngine",
+    "EngineRunResult",
+    "simulate_engine",
+    "AnalyticEngineModel",
+    "AnalyticResult",
+    "GpuModel",
+    "CpuContentionModel",
+]

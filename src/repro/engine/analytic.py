@@ -1,0 +1,267 @@
+"""Analytic (fluid / approximate mean-value) twin of the engine simulator.
+
+Solves the closed queueing network of the Identification Engine without
+event simulation — roughly three orders of magnitude faster than the DES.
+It shares every model parameter with the DES
+(:class:`repro.engine.config.EngineModelParams`), so the two are directly
+comparable; the DES-vs-analytic agreement is one of the ablations DESIGN.md
+calls out.
+
+Model
+-----
+Let ``X`` be the throughput. CPU *work* per request (core-seconds) is
+invariant under contention, so utilization is::
+
+    ρ(X) = (X · work(X) + background + standby·E) / cores
+    work(X) = t_ss·w_ss + t_misc·w_misc + t_dl_cpu·w_dl
+              + t_gpu(k(X))·w_spin + t_ex_cpu·w_ex
+
+CPU-bound wall times inflate by ``I(ρ)`` (see
+:func:`repro.engine.cpumodel.inflation_factor`); the GPU concurrency
+``k(X) = min(E, X·t_gpu(k))`` has a closed form for the linear sharing
+penalty; pool queueing is approximated with the Sakasegawa M/M/c
+waiting-time formula, capped by the closed population.
+
+Every quantity above is a function of ``X`` alone, so the closed loop
+``X = min(R, H) / T_service(X)`` is a **scalar** fixed point. Since
+``T_service`` is non-decreasing in ``X``, ``g(X) = X·T_service(X) - min(R,H)``
+is strictly increasing and the root is unique — found by bisection, which
+converges unconditionally (no damping heuristics).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.engine.config import EngineModelParams, ThreadPoolConfig
+from repro.engine.cpumodel import inflation_factor
+from repro.engine.gpu import GpuModel
+from repro.errors import ValidationError
+
+__all__ = ["AnalyticResult", "AnalyticEngineModel"]
+
+
+def _sakasegawa_wait(service_time: float, servers: int, utilization: float) -> float:
+    """Approximate M/M/c mean waiting time (Sakasegawa, 1977).
+
+    ``W ≈ t · ρ^(√(2(c+1)) − 1) / (c · (1 − ρ))`` — exact for M/M/1,
+    asymptotically correct in heavy traffic for M/M/c.
+    """
+    rho = min(utilization, 0.999)
+    if rho <= 0:
+        return 0.0
+    exponent = math.sqrt(2.0 * (servers + 1.0)) - 1.0
+    return service_time * (rho**exponent) / (servers * (1.0 - rho))
+
+
+@dataclass(frozen=True)
+class AnalyticResult:
+    """Converged steady-state solution of the analytic model."""
+
+    config: ThreadPoolConfig
+    simultaneous_requests: int
+    user_response_time: float
+    throughput: float
+    service_time: float
+    #: per-stage effective service times (contention included).
+    stage_times: dict[str, float] = field(default_factory=dict)
+    #: per-pool waiting times (the paper's ``wait-*`` tasks).
+    wait_times: dict[str, float] = field(default_factory=dict)
+    #: per-pool utilization (busy fraction).
+    pool_utilization: dict[str, float] = field(default_factory=dict)
+    cpu_usage: float = 0.0
+    cpu_inflation: float = 1.0
+    gpu_concurrency: float = 0.0
+    gpu_memory_gb: float = 0.0
+    iterations: int = 0
+    converged: bool = True
+
+
+class _State:
+    """All derived quantities of the network at a candidate throughput X."""
+
+    __slots__ = (
+        "X",
+        "inflation",
+        "ratio",
+        "t_pre",
+        "t_dl",
+        "t_ex",
+        "t_gpu",
+        "t_proc",
+        "t_ss",
+        "t_post",
+        "gpu_k",
+        "rho_dl",
+        "rho_ex",
+        "rho_ss",
+        "w_dl",
+        "w_ex",
+        "w_ss",
+        "t_service",
+    )
+
+    def __init__(self, params: EngineModelParams, config: ThreadPoolConfig, R: int, X: float):
+        p = params
+        H, D_pool, E, S = config.http, config.download, config.extract, config.simsearch
+        t_net = p.image_bytes / p.download_bandwidth
+        t_misc_base = p.t_preprocess + p.t_process + p.t_postprocess
+
+        # GPU concurrency fixed point k = X·t_gpu(k) with
+        # t_gpu(k) = t0·(1 + α(k-1)/n_gpus): closed form, clamped to [1, E]
+        # (the sharing penalty spreads over the node's GPU boards).
+        alpha = p.gpu_concurrency_penalty / p.gpus_per_node
+        t0 = p.t_extract_gpu
+        denom = 1.0 - X * t0 * alpha
+        if denom <= 1e-9:
+            gpu_k = float(E)
+        else:
+            gpu_k = min(float(E), max(1.0, X * t0 * (1.0 - alpha) / denom))
+        t_gpu = t0 * (1.0 + alpha * (gpu_k - 1.0))
+
+        # CPU utilization from invariant work per request.
+        work = (
+            p.t_simsearch * p.w_simsearch
+            + t_misc_base * p.w_http_misc
+            + p.t_download_cpu * p.w_download
+            + t_gpu * p.w_extract_spin
+            + p.t_extract_cpu * p.w_extract
+        )
+        demand = X * work + p.background_cores + p.extract_standby_cores * E
+        ratio = demand / p.cpu_cores
+        inflation = inflation_factor(
+            ratio,
+            p.contention_scale,
+            p.contention_sharpness,
+            p.contention_rho_max,
+            p.contention_kappa,
+        )
+
+        t_pre = p.t_preprocess * inflation
+        t_proc = p.t_process * inflation
+        t_post = p.t_postprocess * inflation
+        t_dl = t_net + p.t_download_cpu * inflation
+        t_ss = p.t_simsearch * inflation
+        t_ex = t_gpu + p.t_extract_cpu * inflation
+
+        rho_dl = X * t_dl / D_pool
+        rho_ex = X * t_ex / E
+        rho_ss = X * t_ss / S
+        # Waits are capped by the closed population: at most min(R, H)
+        # requests can ever queue at an inner pool.
+        in_service = float(min(R, H))
+        w_dl = min(_sakasegawa_wait(t_dl, D_pool, rho_dl), in_service * t_dl / D_pool)
+        w_ex = min(_sakasegawa_wait(t_ex, E, rho_ex), in_service * t_ex / E)
+        w_ss = min(_sakasegawa_wait(t_ss, S, rho_ss), in_service * t_ss / S)
+
+        self.X = X
+        self.inflation = inflation
+        self.ratio = ratio
+        self.t_pre = t_pre
+        self.t_dl = t_dl
+        self.t_gpu = t_gpu
+        self.t_ex = t_ex
+        self.t_proc = t_proc
+        self.t_ss = t_ss
+        self.t_post = t_post
+        self.gpu_k = gpu_k
+        self.rho_dl = rho_dl
+        self.rho_ex = rho_ex
+        self.rho_ss = rho_ss
+        self.w_dl = w_dl
+        self.w_ex = w_ex
+        self.w_ss = w_ss
+        self.t_service = t_pre + w_dl + t_dl + w_ex + t_ex + t_proc + w_ss + t_ss + t_post
+
+
+class AnalyticEngineModel:
+    """Bisection solver for the engine's closed queueing network."""
+
+    def __init__(
+        self,
+        params: EngineModelParams | None = None,
+        *,
+        max_iterations: int = 200,
+        tolerance: float = 1e-10,
+    ) -> None:
+        self.params = params or EngineModelParams()
+        self.max_iterations = int(max_iterations)
+        self.tolerance = float(tolerance)
+        self._gpu = GpuModel(self.params)
+
+    def evaluate(
+        self, config: ThreadPoolConfig, simultaneous_requests: int
+    ) -> AnalyticResult:
+        """Solve for steady state under ``simultaneous_requests`` clients."""
+        if simultaneous_requests < 1:
+            raise ValidationError("need at least one client")
+        p = self.params
+        R = simultaneous_requests
+        in_service = float(min(R, config.http))
+
+        # g(X) = X·T_service(X) − min(R, H) is strictly increasing.
+        def g(X: float) -> float:
+            return X * _State(p, config, R, X).t_service - in_service
+
+        lo = 1e-6
+        hi = in_service / (
+            p.t_preprocess + p.t_process + p.t_postprocess + p.t_extract_gpu
+        )
+        # Ensure the bracket: expand hi until g(hi) >= 0 (bounded loop).
+        for _ in range(60):
+            if g(hi) >= 0:
+                break
+            hi *= 2.0
+        iterations = 0
+        converged = False
+        for iterations in range(1, self.max_iterations + 1):
+            mid = 0.5 * (lo + hi)
+            if g(mid) < 0:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo < self.tolerance * max(1.0, hi):
+                converged = True
+                break
+        X = 0.5 * (lo + hi)
+        s = _State(p, config, R, X)
+
+        response_time = R / X
+        return AnalyticResult(
+            config=config,
+            simultaneous_requests=R,
+            user_response_time=response_time,
+            throughput=X,
+            service_time=s.t_service,
+            stage_times={
+                "pre-process": s.t_pre,
+                "download": s.t_dl,
+                "extract": s.t_ex,
+                "process": s.t_proc,
+                "simsearch": s.t_ss,
+                "post-process": s.t_post,
+            },
+            wait_times={
+                "wait-download": s.w_dl,
+                "wait-extract": s.w_ex,
+                "wait-simsearch": s.w_ss,
+                "wait-http": max(0.0, response_time - s.t_service),
+            },
+            pool_utilization={
+                "http": min(1.0, R / config.http),
+                "download": min(1.0, s.rho_dl),
+                "extract": min(1.0, s.rho_ex),
+                "simsearch": min(1.0, s.rho_ss),
+            },
+            cpu_usage=min(1.0, s.ratio),
+            cpu_inflation=s.inflation,
+            gpu_concurrency=s.gpu_k,
+            gpu_memory_gb=self._gpu.memory_gb(config.extract),
+            iterations=iterations,
+            converged=converged,
+        )
+
+    def response_time(self, config: ThreadPoolConfig, simultaneous_requests: int) -> float:
+        """Shortcut returning only the user response time."""
+        return self.evaluate(config, simultaneous_requests).user_response_time

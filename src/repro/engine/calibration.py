@@ -1,0 +1,136 @@
+"""Calibration of the engine model against the paper's measurements.
+
+The engine model (:class:`repro.engine.config.EngineModelParams`) has free
+constants that cannot be derived from the paper alone (the real Pl@ntNet
+service times are not published). They were fitted offline by minimizing a
+weighted least-squares loss over the *calibration targets* below, evaluated
+with the analytic model and validated with the DES. The fitted values are
+the dataclass defaults.
+
+This module records the targets (so the fit is reproducible and auditable)
+and provides :func:`calibration_report` to re-measure them with either model.
+
+What was fitted and why
+-----------------------
+- ``t_simsearch``, ``t_extract_*``, ``gpu_concurrency_penalty`` — set the
+  absolute response-time scale and the extract-pool capacity curve.
+- ``w_simsearch``, ``extract_standby_cores``, ``background_cores`` — set
+  where CPU saturation occurs as pools grow (the Fig. 9 mechanism).
+- ``contention_scale`` / ``contention_sharpness`` / ``contention_rho_max``
+  — shape of the CPU slowdown knee.
+
+``extract_standby_cores`` deserves a note: the fit assigns a substantial
+standing CPU cost (~1.75 cores) per extract pool thread. This plays the
+role of the paper's observation that growing the extract pool alone drives
+the node to 100 % CPU (Fig. 9c) — in the real system that cost is the
+inference runtime's pinned worker/loader threads per stream.
+
+Known residuals (also recorded in EXPERIMENTS.md)
+--------------------------------------------------
+- The simsearch OAT (paper Fig. 10a) shows a ~4 % dip at 55 threads that
+  the model renders as essentially flat; the paper's own Table IV keeps
+  simsearch at 53, suggesting that dip sits within run-to-run variance.
+- The paper's Fig. 9a reports an 8.5 % gain for extract=6 over extract=7
+  while its Table IV reports 0.3 % for the same change; the model lands
+  between (≈ 0.5–2 %), preserving the ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Literal
+
+from repro.engine.analytic import AnalyticEngineModel
+from repro.engine.config import BASELINE_CONFIG, EngineModelParams, ThreadPoolConfig
+from repro.engine.engine import simulate_engine
+
+__all__ = [
+    "CalibrationTarget",
+    "CALIBRATION_TARGETS",
+    "PRELIMINARY_OPTIMUM",
+    "REFINED_OPTIMUM",
+    "calibration_report",
+]
+
+#: Table III / IV configurations.
+PRELIMINARY_OPTIMUM = ThreadPoolConfig(http=54, download=54, extract=7, simsearch=53)
+REFINED_OPTIMUM = ThreadPoolConfig(http=54, download=54, extract=6, simsearch=53)
+
+
+@dataclass(frozen=True)
+class CalibrationTarget:
+    """One paper measurement the model was fitted against."""
+
+    name: str
+    config: ThreadPoolConfig
+    simultaneous_requests: int
+    paper_value: float
+    source: str
+    #: relative tolerance used to judge the fit in tests/reports.
+    rel_tol: float = 0.10
+
+
+CALIBRATION_TARGETS: tuple[CalibrationTarget, ...] = (
+    CalibrationTarget(
+        "baseline@80", BASELINE_CONFIG, 80, 2.657, "Table III / IV", 0.08
+    ),
+    CalibrationTarget(
+        "preliminary@80", PRELIMINARY_OPTIMUM, 80, 2.484, "Table III / IV", 0.08
+    ),
+    CalibrationTarget(
+        "refined@80", REFINED_OPTIMUM, 80, 2.476, "Table IV", 0.08
+    ),
+    CalibrationTarget(
+        "baseline@120", BASELINE_CONFIG, 120, 3.86, "Fig. 3 (3.86 ± 0.13)", 0.08
+    ),
+    CalibrationTarget(
+        "preliminary@120", PRELIMINARY_OPTIMUM, 120, 3.775, "Fig. 8 (−2.2 %)", 0.10
+    ),
+    CalibrationTarget(
+        "baseline@140", BASELINE_CONFIG, 140, 4.90, "Fig. 8 (read off)", 0.15
+    ),
+    CalibrationTarget(
+        "preliminary@140", PRELIMINARY_OPTIMUM, 140, 4.57, "Fig. 8 (−6.7 %)", 0.15
+    ),
+)
+
+
+def calibration_report(
+    params: EngineModelParams | None = None,
+    *,
+    evaluator: Literal["analytic", "des"] = "analytic",
+    duration: float = 400.0,
+    seed: int = 0,
+) -> list[dict[str, float | str | bool]]:
+    """Measure every calibration target and report model-vs-paper.
+
+    Returns one record per target with the measured value, the paper value,
+    the relative error and whether it is within the target's tolerance.
+    """
+    params = params or EngineModelParams()
+    measure: Callable[[ThreadPoolConfig, int], float]
+    if evaluator == "analytic":
+        model = AnalyticEngineModel(params)
+        measure = lambda cfg, r: model.evaluate(cfg, r).user_response_time  # noqa: E731
+    elif evaluator == "des":
+        measure = lambda cfg, r: simulate_engine(  # noqa: E731
+            cfg, r, duration=duration, warmup=60.0, params=params, seed=seed
+        ).user_response_time.mean
+    else:
+        raise ValueError(f"unknown evaluator {evaluator!r}")
+
+    report: list[dict[str, float | str | bool]] = []
+    for target in CALIBRATION_TARGETS:
+        measured = measure(target.config, target.simultaneous_requests)
+        rel_err = (measured - target.paper_value) / target.paper_value
+        report.append(
+            {
+                "target": target.name,
+                "source": target.source,
+                "paper": target.paper_value,
+                "measured": measured,
+                "relative_error": rel_err,
+                "within_tolerance": abs(rel_err) <= target.rel_tol,
+            }
+        )
+    return report

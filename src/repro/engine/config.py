@@ -1,0 +1,312 @@
+"""Engine configuration: thread pools, workload, and model parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "ThreadPoolConfig",
+    "WorkloadSpec",
+    "EngineModelParams",
+    "BASELINE_CONFIG",
+    "PAPER_SPACE_BOUNDS",
+]
+
+
+@dataclass(frozen=True, order=True)
+class ThreadPoolConfig:
+    """Sizes of the four Pl@ntNet thread pools (the optimization variables).
+
+    The paper's search space (Eq. 2) bounds http/download/simsearch to
+    [20, 60] and extract to [3, 9]; :meth:`validate_paper_bounds` checks a
+    configuration against those bounds without making them mandatory (the
+    baseline itself is built with plain :meth:`__init__`).
+    """
+
+    http: int
+    download: int
+    extract: int
+    simsearch: int
+
+    def __post_init__(self) -> None:
+        for name in ("http", "download", "extract", "simsearch"):
+            value = getattr(self, name)
+            if not isinstance(value, (int,)) or isinstance(value, bool):
+                raise ValidationError(f"pool size {name} must be an int, got {value!r}")
+            if value < 1:
+                raise ValidationError(f"pool size {name} must be >= 1, got {value}")
+
+    def validate_paper_bounds(self) -> "ThreadPoolConfig":
+        """Raise unless within the paper's Eq. 2 bounds; returns self."""
+        lo, hi = PAPER_SPACE_BOUNDS["http"]
+        for name in ("http", "download", "simsearch"):
+            v = getattr(self, name)
+            lo, hi = PAPER_SPACE_BOUNDS[name]
+            if not lo <= v <= hi:
+                raise ValidationError(f"{name}={v} outside paper bounds [{lo}, {hi}]")
+        lo, hi = PAPER_SPACE_BOUNDS["extract"]
+        if not lo <= self.extract <= hi:
+            raise ValidationError(f"extract={self.extract} outside paper bounds [{lo}, {hi}]")
+        return self
+
+    def replace(self, **changes: int) -> "ThreadPoolConfig":
+        """Copy with some pools changed (used heavily by OAT analysis)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "http": self.http,
+            "download": self.download,
+            "extract": self.extract,
+            "simsearch": self.simsearch,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ThreadPoolConfig":
+        try:
+            return cls(
+                http=int(data["http"]),
+                download=int(data["download"]),
+                extract=int(data["extract"]),
+                simsearch=int(data["simsearch"]),
+            )
+        except KeyError as missing:
+            raise ValidationError(f"thread pool config missing key {missing}") from None
+
+    def __str__(self) -> str:
+        return (
+            f"(http={self.http}, download={self.download}, "
+            f"extract={self.extract}, simsearch={self.simsearch})"
+        )
+
+
+#: The production configuration (paper Table II) used as the baseline.
+BASELINE_CONFIG = ThreadPoolConfig(http=40, download=40, extract=7, simsearch=40)
+
+#: The paper's Eq. 2 search-space bounds (inclusive).
+PAPER_SPACE_BOUNDS: dict[str, tuple[int, int]] = {
+    "http": (20, 60),
+    "download": (20, 60),
+    "simsearch": (20, 60),
+    "extract": (3, 9),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The workload driving the engine. Three modes:
+
+    - **closed loop** (the paper's protocol, default): a fixed population
+      of ``simultaneous_requests`` clients, each resubmitting immediately
+      upon response;
+    - **scheduled closed loop**: ``population_schedule`` gives piecewise-
+      constant populations as ``((t0, n0), (t1, n1), ...)`` — E2Clab's
+      "transparent scaling of the scenario" / experiment-variation
+      feature. ``simultaneous_requests`` must equal the schedule maximum;
+    - **open loop**: ``arrival_rate`` requests/s arrive as a Poisson
+      process, each client submits once (production-like traffic instead
+      of a saturation test).
+
+    Defaults follow the paper's measurement protocol: 23-minute runs
+    (1380 s), metrics sampled every 10 s. ``warmup`` seconds are excluded
+    from aggregates so ramp-in does not bias the statistics (the paper's
+    long runs make its warm-up share negligible; ours is explicit).
+    """
+
+    simultaneous_requests: int = 80
+    duration: float = 1380.0
+    sample_interval: float = 10.0
+    warmup: float = 60.0
+    arrival_rate: float | None = None
+    population_schedule: tuple[tuple[float, int], ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.simultaneous_requests < 1:
+            raise ValidationError("need at least one client")
+        if self.duration <= 0:
+            raise ValidationError("duration must be positive")
+        if self.sample_interval <= 0:
+            raise ValidationError("sample_interval must be positive")
+        if not 0 <= self.warmup < self.duration:
+            raise ValidationError("warmup must be in [0, duration)")
+        if self.arrival_rate is not None:
+            if self.arrival_rate <= 0:
+                raise ValidationError("arrival_rate must be positive")
+            if self.population_schedule is not None:
+                raise ValidationError("arrival_rate and population_schedule are exclusive")
+        if self.population_schedule is not None:
+            schedule = self.population_schedule
+            if not schedule:
+                raise ValidationError("population_schedule must not be empty")
+            times = [t for t, _ in schedule]
+            if times != sorted(times) or len(set(times)) != len(times):
+                raise ValidationError("schedule times must be strictly increasing")
+            if times[0] != 0.0:
+                raise ValidationError("schedule must start at t=0")
+            populations = [n for _, n in schedule]
+            if any(n < 0 for n in populations):
+                raise ValidationError("schedule populations must be >= 0")
+            if max(populations) != self.simultaneous_requests:
+                raise ValidationError(
+                    "simultaneous_requests must equal the schedule maximum "
+                    f"({max(populations)}), got {self.simultaneous_requests}"
+                )
+
+    @property
+    def mode(self) -> str:
+        """``closed`` | ``scheduled`` | ``open``."""
+        if self.arrival_rate is not None:
+            return "open"
+        if self.population_schedule is not None:
+            return "scheduled"
+        return "closed"
+
+    def population_at(self, time: float) -> int:
+        """Target closed-loop population at ``time`` (scheduled mode)."""
+        if self.population_schedule is None:
+            return self.simultaneous_requests
+        population = self.population_schedule[0][1]
+        for start, n in self.population_schedule:
+            if time >= start:
+                population = n
+            else:
+                break
+        return population
+
+    @property
+    def samples_per_run(self) -> int:
+        """Number of metric samples a full run produces (paper: 138)."""
+        return int((self.duration - self.warmup) // self.sample_interval)
+
+
+@dataclass(frozen=True)
+class EngineModelParams:
+    """Free constants of the engine performance model.
+
+    Calibrated against the paper's measurements (see
+    :mod:`repro.engine.calibration` for targets and rationale). Times are
+    seconds; CPU weights are cores consumed while a task of that type is
+    active.
+    """
+
+    #: CPU cores available to the engine container (paper Sec. II-A: 40).
+    cpu_cores: float = 40.0
+
+    # -- base (uncontended) service times -------------------------------------
+    t_preprocess: float = 0.012
+    t_download_cpu: float = 0.015
+    #: preprocessed image payload downloaded by the engine (bytes).
+    image_bytes: float = 120e3
+    #: effective engine-side download bandwidth per active download (bytes/s).
+    download_bandwidth: float = 12e6
+    #: single-stream GPU inference latency.
+    t_extract_gpu: float = 0.008
+    #: relative per-inference slowdown per extra concurrent GPU stream.
+    gpu_concurrency_penalty: float = 0.1492
+    #: CPU-side share of the extract task (tensor prep, result decode).
+    t_extract_cpu: float = 0.1616
+    t_process: float = 0.020
+    #: base similarity-search time over the botanical database.
+    t_simsearch: float = 0.9846
+    t_postprocess: float = 0.010
+
+    # -- CPU demand weights (cores consumed while active, uncontended) ----------
+    w_http_misc: float = 1.0
+    w_download: float = 0.25
+    #: cores a GPU-feeding thread consumes while its inference runs (busy
+    #: polling / data staging — paced by the GPU, not stretched by CPU
+    #: contention).
+    w_extract_spin: float = 1.0
+    #: cores the CPU-side phase of extract consumes uncontended.
+    w_extract: float = 1.0
+    w_simsearch: float = 0.6322
+    #: standing CPU cost per extract pool thread (pinned polling threads of
+    #: the inference runtime exist whether or not they hold work) — this is
+    #: what makes oversized extract pools (8–9) drive the node to 100 % CPU.
+    extract_standby_cores: float = 1.7463
+    #: engine runtime background load (GC, serving, monitoring).
+    background_cores: float = 0.2557
+
+    #: CPU slowdown as a function of utilization ρ = draw / cores:
+    #: ``I(ρ) = 1 + scale · ρ**sharpness / (1 - min(ρ, rho_max))``.
+    #: ≈ 1 until high load, then rises sharply toward saturation — the
+    #: degradation the paper observes when CPU usage pins at 100 % for
+    #: extract pools of 8–9 threads.
+    contention_scale: float = 0.002
+    contention_sharpness: float = 3.976
+    #: ρ clamp bounding the maximum slowdown (keeps the closed loop stable).
+    contention_rho_max: float = 0.9944
+    #: defensive post-saturation exponent (ρ > 1 transients only).
+    contention_kappa: float = 1.5
+
+    #: lognormal coefficient of variation applied to every service time.
+    service_cv: float = 0.12
+
+    # -- GPU model -------------------------------------------------------------
+    #: GPUs used by the engine node (chifflot carries 2 V100s; production
+    #: Pl@ntNet pins one — re-optimize when changing this, as the paper
+    #: notes for any hardware change).
+    gpus_per_node: int = 1
+    gpu_total_memory_gb: float = 32.0
+    #: memory model: base + linear*E + quad*E**2, calibrated so E=7 → ~10 GB
+    #: and E=6 → ~7 GB (the paper's "30% less GPU memory" claim).
+    gpu_mem_base_gb: float = 0.0
+    gpu_mem_linear_gb: float = -0.405
+    gpu_mem_quad_gb: float = 0.2619
+    #: GPU utilization per active inference stream (paper: 35–60 % overall).
+    gpu_util_per_stream: float = 0.085
+    gpu_idle_power_w: float = 38.0
+    gpu_power_per_util_w: float = 75.0
+
+    # -- node power model (for energy objectives, paper Sec. II-B) --------------
+    #: node power draw at idle and at full CPU load (chifflot-class server).
+    node_idle_power_w: float = 120.0
+    node_max_power_w: float = 420.0
+
+    # -- system memory model (engine container, GB) ----------------------------
+    sys_mem_base_gb: float = 6.0
+    sys_mem_per_extract_gb: float = 0.9
+    sys_mem_per_thread_gb: float = 0.02
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cpu_cores",
+            "t_preprocess",
+            "t_download_cpu",
+            "image_bytes",
+            "download_bandwidth",
+            "t_extract_gpu",
+            "t_extract_cpu",
+            "t_process",
+            "t_simsearch",
+            "t_postprocess",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValidationError(f"{name} must be positive")
+        if self.gpu_concurrency_penalty < 0:
+            raise ValidationError("gpu_concurrency_penalty must be >= 0")
+        if self.gpus_per_node < 1:
+            raise ValidationError("gpus_per_node must be >= 1")
+        if self.service_cv < 0:
+            raise ValidationError("service_cv must be >= 0")
+        if self.contention_scale < 0:
+            raise ValidationError("contention_scale must be >= 0")
+        if self.contention_sharpness < 0:
+            raise ValidationError("contention_sharpness must be >= 0")
+        if not 0 < self.contention_rho_max < 1:
+            raise ValidationError("contention_rho_max must be in (0, 1)")
+        if self.contention_kappa < 1:
+            raise ValidationError("contention_kappa must be >= 1")
+
+    @property
+    def t_download(self) -> float:
+        """Total uncontended download time (network + CPU share)."""
+        return self.image_bytes / self.download_bandwidth + self.t_download_cpu
+
+    def to_dict(self) -> dict[str, float]:
+        from dataclasses import asdict
+
+        return asdict(self)

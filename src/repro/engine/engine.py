@@ -1,0 +1,419 @@
+"""Discrete-event simulation of the Pl@ntNet Identification Engine.
+
+One :class:`IdentificationEngine` instance simulates one engine node serving
+a closed-loop population of ``simultaneous_requests`` clients. Each request
+executes the Table I pipeline::
+
+    pre-process → [wait-download] → download → [wait-extract] → extract
+    → process → [wait-simsearch] → simsearch → post-process
+
+holding an HTTP pool thread end-to-end (the HTTP pool size is "the number of
+simultaneous requests being processed", paper Table II) and claiming
+Download / Extract / Simsearch threads for the bracketed stages.
+
+Performance couplings modelled (see DESIGN.md §5 for calibration):
+
+- **CPU contention** — CPU-bound stage times inflate when aggregate demand
+  (weighted active tasks + background) exceeds the node's cores.
+- **GPU concurrency** — per-inference latency grows with the number of
+  concurrent extract streams; GPU memory is a function of the pool size.
+- **Closed loop** — clients resubmit immediately on response, so response
+  time and throughput obey Little's law (``R = X · T``) at steady state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro import simcore
+from repro.engine.config import EngineModelParams, ThreadPoolConfig, WorkloadSpec
+from repro.engine.cpumodel import CpuContentionModel
+from repro.engine.gpu import GpuModel
+from repro.engine.metrics import EngineRunResult, MetricsCollector, POOL_NAMES
+from repro.engine.tasks import TaskType
+from repro.testbed.network import NetworkPath
+from repro.utils.seeding import spawn_rng
+
+__all__ = ["IdentificationEngine", "simulate_engine", "EngineRunResult"]
+
+
+class IdentificationEngine:
+    """Simulates one engine node under a closed-loop workload."""
+
+    def __init__(
+        self,
+        config: ThreadPoolConfig,
+        workload: WorkloadSpec | None = None,
+        params: EngineModelParams | None = None,
+        *,
+        seed: int = 0,
+        client_path: Optional[NetworkPath] = None,
+        trace: bool = False,
+    ) -> None:
+        self.config = config
+        self.workload = workload or WorkloadSpec()
+        self.params = params or EngineModelParams()
+        self.seed = int(seed)
+        self.client_path = client_path
+
+        self.env = simcore.Environment()
+        self.cpu = CpuContentionModel(
+            self.params.cpu_cores,
+            base_load=(
+                self.params.background_cores
+                + self.params.extract_standby_cores * config.extract
+            ),
+            scale=self.params.contention_scale,
+            sharpness=self.params.contention_sharpness,
+            rho_max=self.params.contention_rho_max,
+            kappa=self.params.contention_kappa,
+        )
+        self.gpu = GpuModel(self.params)
+        if not self.gpu.fits_in_memory(config.extract):
+            raise ValueError(
+                f"extract pool of {config.extract} needs "
+                f"{self.gpu.memory_gb(config.extract):.1f} GB GPU memory, "
+                f"only {self.params.gpu_total_memory_gb} GB available"
+            )
+        env = self.env
+        self.pools = {
+            "http": simcore.Resource(env, config.http, name="http"),
+            "download": simcore.Resource(env, config.download, name="download"),
+            "extract": simcore.Resource(env, config.extract, name="extract"),
+            "simsearch": simcore.Resource(env, config.simsearch, name="simsearch"),
+        }
+        self.metrics = MetricsCollector(self.workload.warmup, trace=trace)
+        self._rng = spawn_rng(self.seed)
+        # Pre-computed lognormal noise parameters (mean 1, given CV).
+        cv = self.params.service_cv
+        if cv > 0:
+            self._sigma = math.sqrt(math.log(1.0 + cv * cv))
+            self._mu = -0.5 * self._sigma * self._sigma
+        else:
+            self._sigma = 0.0
+            self._mu = 0.0
+        self._client_rtt = client_path.round_trip_time() if client_path else 0.0
+
+    # -- service-time noise -------------------------------------------------------
+
+    def _noise(self) -> float:
+        if self._sigma == 0.0:
+            return 1.0
+        return float(self._rng.lognormal(self._mu, self._sigma))
+
+    # -- pipeline stages ------------------------------------------------------------
+
+    def _cpu_stage(
+        self, task: TaskType, base: float, weight: float
+    ) -> Generator[simcore.Event, None, None]:
+        """A CPU-bound stage.
+
+        A task that would draw ``weight`` cores uncontended is slowed by the
+        current contention factor ``I``: it runs ``I`` times longer while
+        drawing ``weight / I`` cores, keeping its CPU work invariant.
+        """
+        env = self.env
+        slowdown = self.cpu.inflation()
+        draw = weight / slowdown
+        self.cpu.acquire(draw, env.now)
+        try:
+            duration = base * slowdown * self._noise()
+            yield env.timeout(duration)
+        finally:
+            self.cpu.release(draw, env.now)
+        self.metrics.record_task(task, duration, env.now)
+
+    def _download_stage(self) -> Generator[simcore.Event, None, None]:
+        """Download: fixed network transfer + CPU-slowed decode part."""
+        env = self.env
+        p = self.params
+        slowdown = self.cpu.inflation()
+        draw = p.w_download / slowdown
+        self.cpu.acquire(draw, env.now)
+        try:
+            network = p.image_bytes / p.download_bandwidth
+            duration = (network + p.t_download_cpu * slowdown) * self._noise()
+            yield env.timeout(duration)
+        finally:
+            self.cpu.release(draw, env.now)
+        self.metrics.record_task(TaskType.DOWNLOAD, duration, env.now)
+
+    def _extract_stage(self) -> Generator[simcore.Event, None, None]:
+        """DNN inference: GPU-paced phase, then CPU-side decode phase.
+
+        The GPU phase draws ``w_extract_spin`` cores at GPU pace (CPU
+        contention does not stretch it); the CPU phase behaves like any
+        other CPU stage.
+        """
+        env = self.env
+        p = self.params
+        concurrency = self.gpu.stream_started()
+        start = env.now
+        self.cpu.acquire(p.w_extract_spin, env.now)
+        try:
+            gpu_time = self.gpu.inference_time(concurrency) * self._noise()
+            yield env.timeout(gpu_time)
+        finally:
+            self.gpu.stream_finished()
+            self.cpu.release(p.w_extract_spin, env.now)
+
+        slowdown = self.cpu.inflation()
+        draw = p.w_extract / slowdown
+        self.cpu.acquire(draw, env.now)
+        try:
+            yield env.timeout(p.t_extract_cpu * slowdown * self._noise())
+        finally:
+            self.cpu.release(draw, env.now)
+        self.metrics.record_task(TaskType.EXTRACT, env.now - start, env.now)
+
+    # -- request lifecycle -------------------------------------------------------------
+
+    def _lifecycle(self) -> Generator[simcore.Event, None, None]:
+        """One request through the full Table I pipeline."""
+        env = self.env
+        p = self.params
+        pools = self.pools
+        metrics = self.metrics
+        submitted = env.now
+        stamps: dict[str, float] = {}
+
+        def stamp(task: TaskType, start: float) -> None:
+            if metrics.trace_enabled:
+                stamps[str(task)] = env.now - start
+
+        http_req = pools["http"].request()
+        yield http_req
+        try:
+            t0 = env.now
+            yield from self._cpu_stage(TaskType.PRE_PROCESS, p.t_preprocess, p.w_http_misc)
+            stamp(TaskType.PRE_PROCESS, t0)
+
+            t0 = env.now
+            dl_req = pools["download"].request()
+            yield dl_req
+            metrics.record_task(TaskType.WAIT_DOWNLOAD, env.now - t0, env.now)
+            stamp(TaskType.WAIT_DOWNLOAD, t0)
+            try:
+                t0 = env.now
+                yield from self._download_stage()
+                stamp(TaskType.DOWNLOAD, t0)
+            finally:
+                pools["download"].release(dl_req)
+
+            t0 = env.now
+            ex_req = pools["extract"].request()
+            yield ex_req
+            metrics.record_task(TaskType.WAIT_EXTRACT, env.now - t0, env.now)
+            stamp(TaskType.WAIT_EXTRACT, t0)
+            try:
+                t0 = env.now
+                yield from self._extract_stage()
+                stamp(TaskType.EXTRACT, t0)
+            finally:
+                pools["extract"].release(ex_req)
+
+            t0 = env.now
+            yield from self._cpu_stage(TaskType.PROCESS, p.t_process, p.w_http_misc)
+            stamp(TaskType.PROCESS, t0)
+
+            t0 = env.now
+            ss_req = pools["simsearch"].request()
+            yield ss_req
+            metrics.record_task(TaskType.WAIT_SIMSEARCH, env.now - t0, env.now)
+            stamp(TaskType.WAIT_SIMSEARCH, t0)
+            try:
+                t0 = env.now
+                yield from self._cpu_stage(TaskType.SIMSEARCH, p.t_simsearch, p.w_simsearch)
+                stamp(TaskType.SIMSEARCH, t0)
+            finally:
+                pools["simsearch"].release(ss_req)
+
+            t0 = env.now
+            yield from self._cpu_stage(TaskType.POST_PROCESS, p.t_postprocess, p.w_http_misc)
+            stamp(TaskType.POST_PROCESS, t0)
+        finally:
+            pools["http"].release(http_req)
+
+        response_time = env.now - submitted + self._client_rtt
+        metrics.record_response(response_time, env.now)
+        if metrics.trace_enabled:
+            from repro.engine.metrics import RequestTrace
+
+            metrics.record_trace(
+                RequestTrace(submitted=submitted, response_time=response_time, tasks=stamps),
+                env.now,
+            )
+
+    def _client(self, index: int = 0) -> Generator[simcore.Event, None, None]:
+        """A closed-loop client: resubmit immediately upon each response.
+
+        In scheduled mode the client parks itself whenever its index is at
+        or above the current target population and resumes when the
+        schedule readmits it — shrinking and growing the closed-loop
+        population without tearing down state (E2Clab's transparent
+        scenario scaling).
+        """
+        env = self.env
+        while env.now < self.workload.duration:
+            while index >= self._allowed_population:
+                gate = env.event()
+                self._parked[index] = gate
+                yield gate
+                if env.now >= self.workload.duration:
+                    return
+            yield from self._lifecycle()
+
+    def _population_controller(self) -> Generator[simcore.Event, None, None]:
+        """Applies the population schedule (scheduled mode only)."""
+        env = self.env
+        assert self.workload.population_schedule is not None
+        for start, population in self.workload.population_schedule:
+            if start > env.now:
+                yield env.timeout(start - env.now)
+            self._allowed_population = population
+            for index in sorted(self._parked):
+                if index < population:
+                    self._parked.pop(index).succeed()
+
+    def _open_loop_source(self) -> Generator[simcore.Event, None, None]:
+        """Poisson arrivals; each arrival is an independent request."""
+        env = self.env
+        rate = self.workload.arrival_rate
+        assert rate is not None
+        while env.now < self.workload.duration:
+            yield env.timeout(float(self._rng.exponential(1.0 / rate)))
+            env.process(self._lifecycle(), name="request")
+
+    # -- monitoring ------------------------------------------------------------------------
+
+    def _monitor(self) -> Generator[simcore.Event, None, None]:
+        """Sample every metric each ``sample_interval`` (paper: 10 s)."""
+        env = self.env
+        wl = self.workload
+        interval = wl.sample_interval
+        cfg = self.config
+        gpu_mem = self.gpu.memory_gb(cfg.extract)
+        sys_mem = self._system_memory_gb()
+        prev_cpu = self.cpu.usage_integral(env.now)
+        prev_busy = {name: self.pools[name].busy_integral() for name in POOL_NAMES}
+
+        while env.now < wl.duration:
+            yield env.timeout(interval)
+            now = env.now
+            cpu_int = self.cpu.usage_integral(now)
+            cpu_usage = (cpu_int - prev_cpu) / interval
+            prev_cpu = cpu_int
+
+            busy: dict[str, float] = {}
+            for name in POOL_NAMES:
+                integral = self.pools[name].busy_integral()
+                busy[name] = (integral - prev_busy[name]) / (interval * self.pools[name].capacity)
+                prev_busy[name] = integral
+
+            mean_streams = busy["extract"] * cfg.extract
+            gpu_util = self.gpu.utilization(active_streams=mean_streams)  # type: ignore[arg-type]
+            gpu_power = self.gpu.power_draw_w(active_streams=mean_streams)  # type: ignore[arg-type]
+            node_power = (
+                self.params.node_idle_power_w
+                + (self.params.node_max_power_w - self.params.node_idle_power_w) * cpu_usage
+            )
+
+            if now >= wl.warmup:
+                self.metrics.sample_window(
+                    now,
+                    interval,
+                    cpu_usage=cpu_usage,
+                    gpu_utilization=gpu_util,
+                    gpu_power_w=gpu_power,
+                    node_power_w=node_power,
+                    gpu_memory_gb=gpu_mem,
+                    system_memory_gb=sys_mem,
+                    pool_busy=busy,
+                )
+
+    def _system_memory_gb(self) -> float:
+        p = self.params
+        cfg = self.config
+        threads = cfg.http + cfg.download + cfg.simsearch
+        return p.sys_mem_base_gb + p.sys_mem_per_extract_gb * cfg.extract + p.sys_mem_per_thread_gb * threads
+
+    # -- entry point ------------------------------------------------------------------------
+
+    def run(self) -> EngineRunResult:
+        """Run the simulation for the workload's duration and aggregate."""
+        env = self.env
+        workload = self.workload
+        self._parked: dict[int, simcore.Event] = {}
+        if workload.mode == "open":
+            self._allowed_population = 0
+            env.process(self._open_loop_source(), name="arrivals")
+        else:
+            self._allowed_population = workload.population_at(0.0)
+            for index in range(workload.simultaneous_requests):
+                env.process(self._client(index), name="client")
+            if workload.mode == "scheduled":
+                env.process(self._population_controller(), name="population")
+        env.process(self._monitor(), name="monitor")
+        env.run(until=workload.duration)
+        return self._result()
+
+    def _result(self) -> EngineRunResult:
+        wl = self.workload
+        m = self.metrics
+        measured = wl.duration - wl.warmup
+        throughput = m.completed / measured if measured > 0 else float("nan")
+        percentiles = (
+            m.response_reservoir.percentiles() if len(m.response_reservoir) else {}
+        )
+        node_energy_wh = m.series.node_power_w.summary().mean * measured / 3600.0 if len(
+            m.series.node_power_w
+        ) else 0.0
+        gpu_energy_wh = m.series.gpu_power_w.summary().mean * measured / 3600.0 if len(
+            m.series.gpu_power_w
+        ) else 0.0
+        return EngineRunResult(
+            config=self.config,
+            workload=wl,
+            seed=self.seed,
+            user_response_time=m.series.user_response_time.summary(),
+            throughput=throughput,
+            completed_requests=m.completed,
+            task_times={str(t): m.task_stats[t].summary() for t in TaskType},
+            pool_busy={name: self.pools[name].occupancy() for name in POOL_NAMES},
+            gpu_memory_gb=self.gpu.memory_gb(self.config.extract),
+            system_memory_gb=self._system_memory_gb(),
+            cpu_usage=m.series.cpu_usage.summary(),
+            gpu_utilization=m.series.gpu_utilization.summary(),
+            response_percentiles=percentiles,
+            node_energy_wh=node_energy_wh,
+            gpu_energy_wh=gpu_energy_wh,
+            series=m.series,
+            traces=list(m.traces),
+        )
+
+
+def simulate_engine(
+    config: ThreadPoolConfig,
+    simultaneous_requests: int = 80,
+    *,
+    duration: float = 1380.0,
+    warmup: float = 60.0,
+    sample_interval: float = 10.0,
+    params: EngineModelParams | None = None,
+    seed: int = 0,
+    client_path: Optional[NetworkPath] = None,
+) -> EngineRunResult:
+    """Convenience one-call engine simulation (one repetition)."""
+    workload = WorkloadSpec(
+        simultaneous_requests=simultaneous_requests,
+        duration=duration,
+        sample_interval=sample_interval,
+        warmup=warmup,
+    )
+    engine = IdentificationEngine(
+        config, workload, params, seed=seed, client_path=client_path
+    )
+    return engine.run()

@@ -1,0 +1,48 @@
+"""Identification pipeline tasks (paper Table I)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["TaskType", "PIPELINE_ORDER", "WAIT_TASKS", "SERVICE_TASKS"]
+
+
+class TaskType(str, Enum):
+    """The nine identification processing steps, in execution order.
+
+    Names follow paper Table I. ``WAIT_*`` tasks measure queueing for a
+    pool thread; the rest are service tasks on CPU or GPU.
+    """
+
+    PRE_PROCESS = "pre-process"
+    WAIT_DOWNLOAD = "wait-download"
+    DOWNLOAD = "download"
+    WAIT_EXTRACT = "wait-extract"
+    EXTRACT = "extract"
+    PROCESS = "process"
+    WAIT_SIMSEARCH = "wait-simsearch"
+    SIMSEARCH = "simsearch"
+    POST_PROCESS = "post-process"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Execution order of the pipeline (paper Table I).
+PIPELINE_ORDER: tuple[TaskType, ...] = (
+    TaskType.PRE_PROCESS,
+    TaskType.WAIT_DOWNLOAD,
+    TaskType.DOWNLOAD,
+    TaskType.WAIT_EXTRACT,
+    TaskType.EXTRACT,
+    TaskType.PROCESS,
+    TaskType.WAIT_SIMSEARCH,
+    TaskType.SIMSEARCH,
+    TaskType.POST_PROCESS,
+)
+
+WAIT_TASKS: frozenset[TaskType] = frozenset(
+    {TaskType.WAIT_DOWNLOAD, TaskType.WAIT_EXTRACT, TaskType.WAIT_SIMSEARCH}
+)
+
+SERVICE_TASKS: tuple[TaskType, ...] = tuple(t for t in PIPELINE_ORDER if t not in WAIT_TASKS)

@@ -1,0 +1,44 @@
+"""Exception hierarchy shared across the library.
+
+All errors raised intentionally by :mod:`repro` derive from
+:class:`ReproError`, so callers can distinguish library failures from
+programming errors with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input (configuration, search space, parameter) failed validation."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class DeploymentError(ReproError):
+    """A service could not be deployed on the simulated testbed."""
+
+
+class ReservationError(DeploymentError):
+    """The testbed could not satisfy a resource reservation."""
+
+
+class OptimizationError(ReproError):
+    """The optimization cycle failed (bad space, no feasible point, ...)."""
+
+
+class ConvergenceWarning(UserWarning):
+    """A model fit or optimizer did not fully converge; results are usable."""
+
+
+class TrialError(ReproError):
+    """A trial (one objective evaluation) raised inside the trial runner."""
+
+    def __init__(self, message: str, *, trial_id: str | None = None) -> None:
+        super().__init__(message)
+        self.trial_id = trial_id

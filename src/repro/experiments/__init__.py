@@ -1,0 +1,28 @@
+"""Experiment management: directories, manifests, provenance archives.
+
+Phase III of the methodology ("Finalization") requires a *summary of
+computations*: the optimization problem definition, the sampling method,
+the search algorithm and hyperparameters, every point evaluated, and the
+best configuration found — enough for an independent researcher to
+reproduce the result. This package owns that on-disk structure:
+
+    <root>/<experiment-name>/
+        manifest.json             # experiment-level provenance
+        optimization-1/           # one directory per model evaluation
+            evaluation.json       # configuration, deployment, metrics
+        optimization-2/
+        ...
+        summary.json              # the Phase III summary
+
+matching the per-evaluation directories the paper's ``prepare()`` creates.
+"""
+
+from repro.experiments.manifest import ExperimentManifest, environment_info
+from repro.experiments.archive import ExperimentArchive, EvaluationRecord
+
+__all__ = [
+    "ExperimentManifest",
+    "environment_info",
+    "ExperimentArchive",
+    "EvaluationRecord",
+]

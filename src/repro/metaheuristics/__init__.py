@@ -1,0 +1,35 @@
+"""Metaheuristic optimizers for short-running applications (Sec. III-B2).
+
+When a single point of the search space evaluates in minutes, the paper's
+methodology admits evolutionary and swarm-intelligence algorithms instead
+of (or alongside) surrogate models. Implemented here, all over the same
+:class:`repro.bayesopt.space.Space` abstraction:
+
+- :class:`GeneticAlgorithm` — tournament selection, uniform crossover,
+  Gaussian mutation (Mirjalili 2019, paper's [32]).
+- :class:`DifferentialEvolution` — DE/rand/1/bin (Das 2016, paper's [33]).
+- :class:`SimulatedAnnealing` — Metropolis acceptance with geometric
+  cooling (van Laarhoven & Aarts 1987, paper's [34]).
+- :class:`ParticleSwarm` — global-best PSO with inertia damping
+  (Du & Swamy 2016, paper's [35]).
+- :class:`NSGA2` — non-dominated sorting GA for true multi-objective
+  problems (the Fig. 4-right formulation), returning a Pareto front.
+"""
+
+from repro.metaheuristics.base import MetaheuristicOptimizer, MetaheuristicResult
+from repro.metaheuristics.ga import GeneticAlgorithm
+from repro.metaheuristics.de import DifferentialEvolution
+from repro.metaheuristics.sa import SimulatedAnnealing
+from repro.metaheuristics.pso import ParticleSwarm
+from repro.metaheuristics.nsga2 import NSGA2, ParetoResult
+
+__all__ = [
+    "MetaheuristicOptimizer",
+    "MetaheuristicResult",
+    "GeneticAlgorithm",
+    "DifferentialEvolution",
+    "SimulatedAnnealing",
+    "ParticleSwarm",
+    "NSGA2",
+    "ParetoResult",
+]

@@ -1,0 +1,92 @@
+"""Shared machinery for population/trajectory metaheuristics.
+
+All algorithms search the unit hypercube and decode through the
+:class:`~repro.bayesopt.space.Space`, so integer and categorical dimensions
+work out of the box. Objective values are memoized per decoded point, which
+matters for integer spaces where many cube points collapse onto one
+configuration.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.bayesopt.space import Dimension, Space
+from repro.errors import ValidationError
+
+__all__ = ["MetaheuristicResult", "MetaheuristicOptimizer"]
+
+Objective = Callable[[list[Any]], float]
+
+
+@dataclass
+class MetaheuristicResult:
+    """Outcome of a metaheuristic run."""
+
+    x: list[Any]
+    fun: float
+    n_evaluations: int
+    #: best objective value after each iteration (convergence curve).
+    history: list[float] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "x": self.x,
+            "fun": self.fun,
+            "n_evaluations": self.n_evaluations,
+            "history": list(self.history),
+        }
+
+
+class MetaheuristicOptimizer(abc.ABC):
+    """Base: unit-cube search with decode-and-memoize evaluation."""
+
+    def __init__(self, *, seed: int | None = None) -> None:
+        self.seed = seed
+
+    @abc.abstractmethod
+    def minimize(
+        self,
+        func: Objective,
+        space: Space | Sequence[Dimension],
+        *,
+        n_iterations: int = 50,
+    ) -> MetaheuristicResult:
+        """Minimize ``func`` over ``space``."""
+
+    # -- helpers shared by implementations -------------------------------------------
+
+    @staticmethod
+    def _as_space(space: Space | Sequence[Dimension]) -> Space:
+        return space if isinstance(space, Space) else Space(space)
+
+    @staticmethod
+    def _check_iterations(n_iterations: int) -> int:
+        if n_iterations < 1:
+            raise ValidationError("n_iterations must be >= 1")
+        return int(n_iterations)
+
+
+class _Memo:
+    """Decode-and-memoize objective wrapper over the unit cube."""
+
+    def __init__(self, func: Objective, space: Space) -> None:
+        self.func = func
+        self.space = space
+        self.cache: dict[tuple[Any, ...], float] = {}
+        self.n_evaluations = 0
+
+    def __call__(self, unit: np.ndarray) -> float:
+        point = self.space.inverse_transform(np.clip(unit, 0.0, 1.0)[None, :])[0]
+        key = tuple(point)
+        if key not in self.cache:
+            self.cache[key] = float(self.func(point))
+            self.n_evaluations += 1
+        return self.cache[key]
+
+    def decode(self, unit: np.ndarray) -> list[Any]:
+        return self.space.inverse_transform(np.clip(unit, 0.0, 1.0)[None, :])[0]

@@ -1,0 +1,87 @@
+"""Differential evolution, DE/rand/1/bin."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.bayesopt.space import Dimension, Space
+from repro.errors import ValidationError
+from repro.metaheuristics.base import (
+    MetaheuristicOptimizer,
+    MetaheuristicResult,
+    Objective,
+    _Memo,
+)
+
+__all__ = ["DifferentialEvolution"]
+
+
+class DifferentialEvolution(MetaheuristicOptimizer):
+    """Classic DE: mutant ``a + F·(b − c)``, binomial crossover, greedy
+    selection. Out-of-cube mutants are reflected back inside."""
+
+    def __init__(
+        self,
+        population_size: int = 25,
+        *,
+        differential_weight: float = 0.7,
+        crossover_rate: float = 0.9,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        if population_size < 4:
+            raise ValidationError("population_size must be >= 4 for DE/rand/1")
+        if not 0 < differential_weight <= 2:
+            raise ValidationError("differential_weight must be in (0, 2]")
+        if not 0 <= crossover_rate <= 1:
+            raise ValidationError("crossover_rate must be in [0, 1]")
+        self.population_size = int(population_size)
+        self.differential_weight = float(differential_weight)
+        self.crossover_rate = float(crossover_rate)
+
+    def minimize(
+        self,
+        func: Objective,
+        space: Space | Sequence[Dimension],
+        *,
+        n_iterations: int = 50,
+    ) -> MetaheuristicResult:
+        space = self._as_space(space)
+        n_iterations = self._check_iterations(n_iterations)
+        rng = np.random.default_rng(self.seed)
+        memo = _Memo(func, space)
+        d = len(space)
+        n = self.population_size
+
+        population = rng.random((n, d))
+        fitness = np.array([memo(ind) for ind in population])
+        history: list[float] = []
+
+        for _ in range(n_iterations):
+            history.append(float(fitness.min()))
+            for i in range(n):
+                choices = [j for j in range(n) if j != i]
+                a, b, c = population[rng.choice(choices, size=3, replace=False)]
+                mutant = a + self.differential_weight * (b - c)
+                # Reflect out-of-bounds coordinates back into the cube.
+                mutant = np.abs(mutant)
+                mutant = np.where(mutant > 1.0, 2.0 - mutant, mutant)
+                mutant = np.clip(mutant, 0.0, 1.0)
+                cross = rng.random(d) < self.crossover_rate
+                cross[rng.integers(d)] = True  # at least one gene from mutant
+                candidate = np.where(cross, mutant, population[i])
+                f_candidate = memo(candidate)
+                if f_candidate <= fitness[i]:
+                    population[i] = candidate
+                    fitness[i] = f_candidate
+
+        best = int(np.argmin(fitness))
+        history.append(float(fitness[best]))
+        return MetaheuristicResult(
+            x=memo.decode(population[best]),
+            fun=float(fitness[best]),
+            n_evaluations=memo.n_evaluations,
+            history=history,
+        )

@@ -1,0 +1,110 @@
+"""Genetic algorithm: tournament selection, uniform crossover, mutation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.bayesopt.space import Dimension, Space
+from repro.errors import ValidationError
+from repro.metaheuristics.base import (
+    MetaheuristicOptimizer,
+    MetaheuristicResult,
+    Objective,
+    _Memo,
+)
+
+__all__ = ["GeneticAlgorithm"]
+
+
+class GeneticAlgorithm(MetaheuristicOptimizer):
+    """Real-coded GA over the unit cube.
+
+    Per generation: elitism keeps the best ``n_elites``; parents are chosen
+    by ``tournament_size``-way tournaments; children arise from uniform
+    crossover with probability ``crossover_rate`` and per-gene Gaussian
+    mutation with probability ``mutation_rate``.
+    """
+
+    def __init__(
+        self,
+        population_size: int = 30,
+        *,
+        tournament_size: int = 3,
+        crossover_rate: float = 0.9,
+        mutation_rate: float = 0.15,
+        mutation_sigma: float = 0.12,
+        n_elites: int = 2,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        if population_size < 4:
+            raise ValidationError("population_size must be >= 4")
+        if not 2 <= tournament_size <= population_size:
+            raise ValidationError("tournament_size must be in [2, population_size]")
+        if not 0 <= crossover_rate <= 1 or not 0 <= mutation_rate <= 1:
+            raise ValidationError("rates must be in [0, 1]")
+        if not 0 <= n_elites < population_size:
+            raise ValidationError("n_elites must be in [0, population_size)")
+        self.population_size = int(population_size)
+        self.tournament_size = int(tournament_size)
+        self.crossover_rate = float(crossover_rate)
+        self.mutation_rate = float(mutation_rate)
+        self.mutation_sigma = float(mutation_sigma)
+        self.n_elites = int(n_elites)
+
+    def minimize(
+        self,
+        func: Objective,
+        space: Space | Sequence[Dimension],
+        *,
+        n_iterations: int = 50,
+    ) -> MetaheuristicResult:
+        space = self._as_space(space)
+        n_iterations = self._check_iterations(n_iterations)
+        rng = np.random.default_rng(self.seed)
+        memo = _Memo(func, space)
+        d = len(space)
+
+        population = rng.random((self.population_size, d))
+        fitness = np.array([memo(ind) for ind in population])
+        history: list[float] = []
+
+        for _ in range(n_iterations):
+            order = np.argsort(fitness)
+            population = population[order]
+            fitness = fitness[order]
+            history.append(float(fitness[0]))
+
+            next_pop = [population[i].copy() for i in range(self.n_elites)]
+            while len(next_pop) < self.population_size:
+                p1 = self._tournament(population, fitness, rng)
+                p2 = self._tournament(population, fitness, rng)
+                if rng.random() < self.crossover_rate:
+                    mask = rng.random(d) < 0.5
+                    child = np.where(mask, p1, p2)
+                else:
+                    child = p1.copy()
+                mutate = rng.random(d) < self.mutation_rate
+                child = np.where(
+                    mutate, child + rng.normal(0.0, self.mutation_sigma, size=d), child
+                )
+                next_pop.append(np.clip(child, 0.0, 1.0))
+            population = np.stack(next_pop)
+            fitness = np.array([memo(ind) for ind in population])
+
+        best = int(np.argmin(fitness))
+        history.append(float(fitness[best]))
+        return MetaheuristicResult(
+            x=memo.decode(population[best]),
+            fun=float(fitness[best]),
+            n_evaluations=memo.n_evaluations,
+            history=history,
+        )
+
+    def _tournament(
+        self, population: np.ndarray, fitness: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        idx = rng.choice(len(population), size=self.tournament_size, replace=False)
+        return population[idx[np.argmin(fitness[idx])]]

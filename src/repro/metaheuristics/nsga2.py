@@ -1,0 +1,285 @@
+"""NSGA-II: non-dominated sorting genetic algorithm (Deb et al. 2002).
+
+The paper's Sec. II-B formalizes multi-objective problems (e.g. "minimize
+communication costs *and* end-to-end latency", Fig. 4 right) but its
+evaluation scalarizes to a single metric. NSGA-II is the standard
+population approach for recovering the whole Pareto front instead; it
+completes the metaheuristics toolbox for short-running applications.
+
+Implements the canonical algorithm: fast non-dominated sorting, crowding
+distance, binary tournament on (rank, crowding), simulated binary
+crossover (SBX) and polynomial mutation — all over the unit cube with
+decode-through-:class:`~repro.bayesopt.space.Space` like the other
+metaheuristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.bayesopt.space import Dimension, Space
+from repro.errors import ValidationError
+from repro.metaheuristics.base import MetaheuristicOptimizer
+
+__all__ = ["NSGA2", "ParetoResult"]
+
+MultiObjective = Callable[[list[Any]], Sequence[float]]
+
+
+@dataclass
+class ParetoResult:
+    """The final non-dominated set of an NSGA-II run."""
+
+    #: decoded points on the front.
+    points: list[list[Any]]
+    #: objective vectors (minimization convention) aligned with ``points``.
+    values: list[tuple[float, ...]]
+    n_evaluations: int
+    #: hypervolume-ish progress proxy: best scalarized sum per generation.
+    history: list[float] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def best_for(self, objective_index: int) -> tuple[list[Any], tuple[float, ...]]:
+        """The front point minimizing one particular objective."""
+        if not self.points:
+            raise ValidationError("empty Pareto front")
+        i = min(range(len(self.values)), key=lambda j: self.values[j][objective_index])
+        return self.points[i], self.values[i]
+
+
+def fast_non_dominated_sort(values: np.ndarray) -> list[np.ndarray]:
+    """Deb's fast non-dominated sort; returns fronts as index arrays."""
+    n = len(values)
+    dominated_by: list[list[int]] = [[] for _ in range(n)]
+    domination_count = np.zeros(n, dtype=int)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if _dominates(values[i], values[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif _dominates(values[j], values[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+    fronts: list[np.ndarray] = []
+    current = np.nonzero(domination_count == 0)[0]
+    while len(current):
+        fronts.append(current)
+        nxt: list[int] = []
+        for i in current:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    nxt.append(j)
+        current = np.array(sorted(nxt), dtype=int)
+    return fronts
+
+
+def _dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def crowding_distance(values: np.ndarray) -> np.ndarray:
+    """Crowding distance of each point within one front."""
+    n, m = values.shape
+    distance = np.zeros(n)
+    if n <= 2:
+        return np.full(n, np.inf)
+    for k in range(m):
+        order = np.argsort(values[:, k])
+        distance[order[0]] = distance[order[-1]] = np.inf
+        span = values[order[-1], k] - values[order[0], k]
+        if span == 0:
+            continue
+        for idx in range(1, n - 1):
+            distance[order[idx]] += (
+                values[order[idx + 1], k] - values[order[idx - 1], k]
+            ) / span
+    return distance
+
+
+class NSGA2(MetaheuristicOptimizer):
+    """Multi-objective minimizer returning a Pareto front."""
+
+    def __init__(
+        self,
+        population_size: int = 40,
+        *,
+        crossover_eta: float = 15.0,
+        mutation_eta: float = 20.0,
+        crossover_rate: float = 0.9,
+        mutation_rate: float | None = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        if population_size < 4 or population_size % 2:
+            raise ValidationError("population_size must be an even integer >= 4")
+        self.population_size = int(population_size)
+        self.crossover_eta = float(crossover_eta)
+        self.mutation_eta = float(mutation_eta)
+        if not 0 <= crossover_rate <= 1:
+            raise ValidationError("crossover_rate must be in [0, 1]")
+        self.crossover_rate = float(crossover_rate)
+        self.mutation_rate = mutation_rate
+
+    # -- single-objective facade (MetaheuristicOptimizer contract) ----------------------
+
+    def minimize(self, func, space, *, n_iterations: int = 50):
+        """Single-objective adapter: wraps ``func`` as a 1-tuple objective."""
+        from repro.metaheuristics.base import MetaheuristicResult
+
+        result = self.minimize_multi(lambda x: (float(func(x)),), space, n_iterations=n_iterations)
+        point, values = result.best_for(0)
+        return MetaheuristicResult(
+            x=point,
+            fun=values[0],
+            n_evaluations=result.n_evaluations,
+            history=result.history,
+        )
+
+    # -- the real interface ----------------------------------------------------------------
+
+    def minimize_multi(
+        self,
+        func: MultiObjective,
+        space: Space | Sequence[Dimension],
+        *,
+        n_iterations: int = 50,
+    ) -> ParetoResult:
+        space = self._as_space(space)
+        n_iterations = self._check_iterations(n_iterations)
+        rng = np.random.default_rng(self.seed)
+        d = len(space)
+        mutation_rate = self.mutation_rate if self.mutation_rate is not None else 1.0 / d
+
+        cache: dict[tuple[Any, ...], tuple[float, ...]] = {}
+        evaluations = 0
+
+        def evaluate(unit: np.ndarray) -> tuple[float, ...]:
+            nonlocal evaluations
+            point = space.inverse_transform(np.clip(unit, 0, 1)[None, :])[0]
+            key = tuple(point)
+            if key not in cache:
+                values = tuple(float(v) for v in func(point))
+                if not values:
+                    raise ValidationError("objective returned no values")
+                cache[key] = values
+                evaluations += 1
+            return cache[key]
+
+        population = rng.random((self.population_size, d))
+        values = np.array([evaluate(p) for p in population])
+        history: list[float] = []
+
+        for _ in range(n_iterations):
+            offspring = self._make_offspring(population, values, rng, mutation_rate)
+            off_values = np.array([evaluate(p) for p in offspring])
+            merged = np.vstack([population, offspring])
+            merged_values = np.vstack([values, off_values])
+            population, values = self._environmental_selection(merged, merged_values)
+            history.append(float(values.sum(axis=1).min()))
+
+        fronts = fast_non_dominated_sort(values)
+        front = fronts[0]
+        # deduplicate decoded points on the front
+        seen: set[tuple[Any, ...]] = set()
+        points: list[list[Any]] = []
+        front_values: list[tuple[float, ...]] = []
+        for i in front:
+            point = space.inverse_transform(population[i][None, :])[0]
+            key = tuple(point)
+            if key in seen:
+                continue
+            seen.add(key)
+            points.append(point)
+            front_values.append(tuple(float(v) for v in values[i]))
+        return ParetoResult(
+            points=points,
+            values=front_values,
+            n_evaluations=evaluations,
+            history=history,
+        )
+
+    # -- variation operators ------------------------------------------------------------------
+
+    def _make_offspring(
+        self,
+        population: np.ndarray,
+        values: np.ndarray,
+        rng: np.random.Generator,
+        mutation_rate: float,
+    ) -> np.ndarray:
+        ranks = np.empty(len(population), dtype=int)
+        crowding = np.empty(len(population))
+        for rank, front in enumerate(fast_non_dominated_sort(values)):
+            ranks[front] = rank
+            crowding[front] = crowding_distance(values[front])
+
+        def tournament() -> np.ndarray:
+            i, j = rng.choice(len(population), size=2, replace=False)
+            if ranks[i] < ranks[j] or (ranks[i] == ranks[j] and crowding[i] > crowding[j]):
+                return population[i]
+            return population[j]
+
+        offspring = []
+        while len(offspring) < self.population_size:
+            p1, p2 = tournament(), tournament()
+            if rng.random() < self.crossover_rate:
+                c1, c2 = self._sbx(p1, p2, rng)
+            else:
+                c1, c2 = p1.copy(), p2.copy()
+            offspring.append(self._polynomial_mutation(c1, rng, mutation_rate))
+            if len(offspring) < self.population_size:
+                offspring.append(self._polynomial_mutation(c2, rng, mutation_rate))
+        return np.clip(np.stack(offspring), 0.0, 1.0)
+
+    def _sbx(
+        self, p1: np.ndarray, p2: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Simulated binary crossover in the unit cube."""
+        u = rng.random(len(p1))
+        beta = np.where(
+            u <= 0.5,
+            (2.0 * u) ** (1.0 / (self.crossover_eta + 1.0)),
+            (1.0 / (2.0 * (1.0 - u))) ** (1.0 / (self.crossover_eta + 1.0)),
+        )
+        c1 = 0.5 * ((1 + beta) * p1 + (1 - beta) * p2)
+        c2 = 0.5 * ((1 - beta) * p1 + (1 + beta) * p2)
+        return c1, c2
+
+    def _polynomial_mutation(
+        self, child: np.ndarray, rng: np.random.Generator, rate: float
+    ) -> np.ndarray:
+        mask = rng.random(len(child)) < rate
+        if not mask.any():
+            return child
+        u = rng.random(len(child))
+        delta = np.where(
+            u < 0.5,
+            (2.0 * u) ** (1.0 / (self.mutation_eta + 1.0)) - 1.0,
+            1.0 - (2.0 * (1.0 - u)) ** (1.0 / (self.mutation_eta + 1.0)),
+        )
+        out = child.copy()
+        out[mask] = np.clip(child[mask] + delta[mask], 0.0, 1.0)
+        return out
+
+    def _environmental_selection(
+        self, merged: np.ndarray, merged_values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fill the next generation front by front, crowding-truncated."""
+        selected: list[int] = []
+        for front in fast_non_dominated_sort(merged_values):
+            if len(selected) + len(front) <= self.population_size:
+                selected.extend(front.tolist())
+            else:
+                remaining = self.population_size - len(selected)
+                crowding = crowding_distance(merged_values[front])
+                order = np.argsort(crowding)[::-1]
+                selected.extend(front[order[:remaining]].tolist())
+                break
+        index = np.array(selected, dtype=int)
+        return merged[index], merged_values[index]

@@ -1,0 +1,102 @@
+"""Global-best particle swarm optimization with inertia damping."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.bayesopt.space import Dimension, Space
+from repro.errors import ValidationError
+from repro.metaheuristics.base import (
+    MetaheuristicOptimizer,
+    MetaheuristicResult,
+    Objective,
+    _Memo,
+)
+
+__all__ = ["ParticleSwarm"]
+
+
+class ParticleSwarm(MetaheuristicOptimizer):
+    """gbest-PSO: ``v ← ωv + c1·r1·(pbest − x) + c2·r2·(gbest − x)``.
+
+    Velocities are clamped to ``velocity_max`` and the inertia ω decays
+    linearly from ``inertia`` to ``inertia_final`` over the run.
+    """
+
+    def __init__(
+        self,
+        swarm_size: int = 25,
+        *,
+        inertia: float = 0.9,
+        inertia_final: float = 0.4,
+        cognitive: float = 1.5,
+        social: float = 1.5,
+        velocity_max: float = 0.3,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        if swarm_size < 2:
+            raise ValidationError("swarm_size must be >= 2")
+        if velocity_max <= 0:
+            raise ValidationError("velocity_max must be > 0")
+        self.swarm_size = int(swarm_size)
+        self.inertia = float(inertia)
+        self.inertia_final = float(inertia_final)
+        self.cognitive = float(cognitive)
+        self.social = float(social)
+        self.velocity_max = float(velocity_max)
+
+    def minimize(
+        self,
+        func: Objective,
+        space: Space | Sequence[Dimension],
+        *,
+        n_iterations: int = 50,
+    ) -> MetaheuristicResult:
+        space = self._as_space(space)
+        n_iterations = self._check_iterations(n_iterations)
+        rng = np.random.default_rng(self.seed)
+        memo = _Memo(func, space)
+        d = len(space)
+        n = self.swarm_size
+
+        position = rng.random((n, d))
+        velocity = rng.uniform(-self.velocity_max, self.velocity_max, size=(n, d))
+        fitness = np.array([memo(p) for p in position])
+        pbest = position.copy()
+        pbest_f = fitness.copy()
+        g = int(np.argmin(fitness))
+        gbest = position[g].copy()
+        gbest_f = float(fitness[g])
+        history: list[float] = []
+
+        for it in range(n_iterations):
+            frac = it / max(1, n_iterations - 1)
+            omega = self.inertia + (self.inertia_final - self.inertia) * frac
+            r1 = rng.random((n, d))
+            r2 = rng.random((n, d))
+            velocity = (
+                omega * velocity
+                + self.cognitive * r1 * (pbest - position)
+                + self.social * r2 * (gbest - position)
+            )
+            velocity = np.clip(velocity, -self.velocity_max, self.velocity_max)
+            position = np.clip(position + velocity, 0.0, 1.0)
+            fitness = np.array([memo(p) for p in position])
+            improved = fitness < pbest_f
+            pbest[improved] = position[improved]
+            pbest_f[improved] = fitness[improved]
+            g = int(np.argmin(pbest_f))
+            if pbest_f[g] < gbest_f:
+                gbest = pbest[g].copy()
+                gbest_f = float(pbest_f[g])
+            history.append(gbest_f)
+
+        return MetaheuristicResult(
+            x=memo.decode(gbest),
+            fun=gbest_f,
+            n_evaluations=memo.n_evaluations,
+            history=history,
+        )

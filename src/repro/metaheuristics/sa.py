@@ -1,0 +1,92 @@
+"""Simulated annealing with Metropolis acceptance and geometric cooling."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.bayesopt.space import Dimension, Space
+from repro.errors import ValidationError
+from repro.metaheuristics.base import (
+    MetaheuristicOptimizer,
+    MetaheuristicResult,
+    Objective,
+    _Memo,
+)
+
+__all__ = ["SimulatedAnnealing"]
+
+
+class SimulatedAnnealing(MetaheuristicOptimizer):
+    """Single-trajectory SA.
+
+    Per iteration, a Gaussian step (scaled by the current temperature, so
+    moves shrink as the system cools) is accepted if it improves, or with
+    probability ``exp(−Δ/T)`` otherwise; the temperature follows
+    ``T ← cooling_rate · T``.
+    """
+
+    def __init__(
+        self,
+        *,
+        initial_temperature: float = 1.0,
+        cooling_rate: float = 0.95,
+        step_scale: float = 0.25,
+        steps_per_temperature: int = 10,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        if initial_temperature <= 0:
+            raise ValidationError("initial_temperature must be > 0")
+        if not 0 < cooling_rate < 1:
+            raise ValidationError("cooling_rate must be in (0, 1)")
+        if step_scale <= 0:
+            raise ValidationError("step_scale must be > 0")
+        if steps_per_temperature < 1:
+            raise ValidationError("steps_per_temperature must be >= 1")
+        self.initial_temperature = float(initial_temperature)
+        self.cooling_rate = float(cooling_rate)
+        self.step_scale = float(step_scale)
+        self.steps_per_temperature = int(steps_per_temperature)
+
+    def minimize(
+        self,
+        func: Objective,
+        space: Space | Sequence[Dimension],
+        *,
+        n_iterations: int = 50,
+    ) -> MetaheuristicResult:
+        space = self._as_space(space)
+        n_iterations = self._check_iterations(n_iterations)
+        rng = np.random.default_rng(self.seed)
+        memo = _Memo(func, space)
+        d = len(space)
+
+        current = rng.random(d)
+        f_current = memo(current)
+        best = current.copy()
+        f_best = f_current
+        temperature = self.initial_temperature
+        history: list[float] = []
+
+        for _ in range(n_iterations):
+            for _ in range(self.steps_per_temperature):
+                scale = self.step_scale * max(temperature, 0.05)
+                candidate = np.clip(current + rng.normal(0.0, scale, size=d), 0.0, 1.0)
+                f_candidate = memo(candidate)
+                delta = f_candidate - f_current
+                if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):
+                    current, f_current = candidate, f_candidate
+                    if f_current < f_best:
+                        best, f_best = current.copy(), f_current
+            history.append(float(f_best))
+            temperature *= self.cooling_rate
+
+        return MetaheuristicResult(
+            x=memo.decode(best),
+            fun=float(f_best),
+            n_evaluations=memo.n_evaluations,
+            history=history,
+        )

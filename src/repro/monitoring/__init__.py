@@ -1,0 +1,17 @@
+"""Monitoring: generic metric collection and cross-repetition aggregation.
+
+E2Clab's monitoring manager deploys dstat/py3nvml-style collectors on every
+node and backs up the resulting time series. In this reproduction the engine
+simulator produces those series natively
+(:class:`repro.engine.metrics.MetricSeries`); this package adds
+
+- :class:`MetricCollector` — a generic sampler that polls user-provided
+  probes inside a simulation environment (for custom services),
+- :class:`RepetitionAggregate` — pooling of repeated experiment runs into
+  the paper's ``mean (± std)`` over all samples (e.g. 7 × 138 = 966).
+"""
+
+from repro.monitoring.collector import MetricCollector, Probe
+from repro.monitoring.aggregate import RepetitionAggregate, aggregate_runs
+
+__all__ = ["MetricCollector", "Probe", "RepetitionAggregate", "aggregate_runs"]

@@ -1,0 +1,89 @@
+"""Cross-repetition aggregation of engine runs.
+
+The paper runs each configuration 7 times for 23 minutes and reports
+``mean (± std)`` over all 966 samples (7 × 138). :func:`aggregate_runs`
+reproduces exactly that pooling for any metric the engine collects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.engine.metrics import EngineRunResult
+from repro.errors import ValidationError
+from repro.utils.stats import RunningStats, Summary
+
+__all__ = ["RepetitionAggregate", "aggregate_runs"]
+
+
+@dataclass(frozen=True)
+class RepetitionAggregate:
+    """Pooled statistics over repeated runs of one configuration."""
+
+    repetitions: int
+    #: pooled over every per-window sample of every run (the paper's 966).
+    user_response_time: Summary
+    throughput: Summary
+    cpu_usage: Summary
+    gpu_utilization: Summary
+    #: per-task pooled summaries keyed by Table I task name.
+    task_times: dict[str, Summary] = field(default_factory=dict)
+    #: per-pool busy fraction pooled over runs.
+    pool_busy: dict[str, Summary] = field(default_factory=dict)
+    gpu_memory_gb: float = 0.0
+    system_memory_gb: float = 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.repetitions} reps: response {self.user_response_time}, "
+            f"throughput {self.throughput.mean:.1f} req/s"
+        )
+
+
+def _pool_samples(runs: Sequence[EngineRunResult], attr: str) -> Summary:
+    stats = RunningStats()
+    for run in runs:
+        series = getattr(run.series, attr)
+        stats.extend(series.values)
+    return stats.summary()
+
+
+def aggregate_runs(runs: Sequence[EngineRunResult]) -> RepetitionAggregate:
+    """Pool repeated runs of the *same* configuration and workload."""
+    if not runs:
+        raise ValidationError("cannot aggregate zero runs")
+    first = runs[0]
+    for run in runs[1:]:
+        if run.config != first.config:
+            raise ValidationError(
+                f"cannot pool different configs: {run.config} vs {first.config}"
+            )
+        if run.workload.simultaneous_requests != first.workload.simultaneous_requests:
+            raise ValidationError("cannot pool different workloads")
+
+    task_names = list(first.task_times)
+    task_pool: dict[str, RunningStats] = {name: RunningStats() for name in task_names}
+    busy_pool: dict[str, RunningStats] = {name: RunningStats() for name in first.pool_busy}
+    throughput = RunningStats()
+    for run in runs:
+        throughput.add(run.throughput)
+        for name in task_names:
+            summary = run.task_times[name]
+            if summary.count:
+                # Re-weight by sample count so longer runs count more.
+                task_pool[name].add(summary.mean, weight=summary.count)
+        for name, value in run.pool_busy.items():
+            busy_pool[name].add(value)
+
+    return RepetitionAggregate(
+        repetitions=len(runs),
+        user_response_time=_pool_samples(runs, "user_response_time"),
+        throughput=throughput.summary(),
+        cpu_usage=_pool_samples(runs, "cpu_usage"),
+        gpu_utilization=_pool_samples(runs, "gpu_utilization"),
+        task_times={name: task_pool[name].summary() for name in task_names},
+        pool_busy={name: busy_pool[name].summary() for name in busy_pool},
+        gpu_memory_gb=first.gpu_memory_gb,
+        system_memory_gb=first.system_memory_gb,
+    )

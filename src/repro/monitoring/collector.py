@@ -1,0 +1,75 @@
+"""Generic in-simulation metric sampler (dstat analogue)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+from repro import simcore
+from repro.errors import ValidationError
+from repro.utils.timeseries import TimeSeries
+
+__all__ = ["Probe", "MetricCollector"]
+
+
+@dataclass(frozen=True)
+class Probe:
+    """A named metric source polled at every sampling tick."""
+
+    name: str
+    read: Callable[[], float]
+
+
+class MetricCollector:
+    """Polls probes every ``interval`` simulated seconds into time series.
+
+    Example::
+
+        env = simcore.Environment()
+        pool = simcore.Resource(env, 4, name="workers")
+        collector = MetricCollector(env, interval=10.0)
+        collector.add_probe("pool_occupancy", pool.occupancy)
+        collector.start()
+        ... run simulation ...
+        series = collector.series["pool_occupancy"]
+    """
+
+    def __init__(self, env: simcore.Environment, interval: float = 10.0) -> None:
+        if interval <= 0:
+            raise ValidationError("interval must be positive")
+        self.env = env
+        self.interval = float(interval)
+        self.probes: list[Probe] = []
+        self.series: dict[str, TimeSeries] = {}
+        self._process: simcore.Process | None = None
+
+    def add_probe(self, name: str, read: Callable[[], float]) -> None:
+        """Register a probe; must be called before :meth:`start`."""
+        if self._process is not None:
+            raise ValidationError("cannot add probes after the collector started")
+        if name in self.series:
+            raise ValidationError(f"duplicate probe {name!r}")
+        self.probes.append(Probe(name, read))
+        self.series[name] = TimeSeries(name)
+
+    def start(self) -> simcore.Process:
+        """Start sampling; returns the collector process."""
+        if self._process is not None:
+            raise ValidationError("collector already started")
+        self._process = self.env.process(self._run(), name="metric-collector")
+        return self._process
+
+    def _run(self) -> Generator[simcore.Event, None, None]:
+        try:
+            while True:
+                yield self.env.timeout(self.interval)
+                now = self.env.now
+                for probe in self.probes:
+                    self.series[probe.name].append(now, float(probe.read()))
+        except simcore.Interrupt:
+            return
+
+    def stop(self) -> None:
+        """Stop sampling (idempotent)."""
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("collector stopped")

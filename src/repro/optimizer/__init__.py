@@ -1,0 +1,41 @@
+"""The paper's contribution: the E2Clab optimization layer.
+
+Implements the three-phase methodology of Sec. III:
+
+- **Phase I — Initialization** (:mod:`repro.optimizer.problem`): the
+  optimization problem of Eq. 1 — variables (search space), single- or
+  multi-objective functions, and constraints.
+- **Phase II — Evaluation** (:mod:`repro.optimizer.optimization`,
+  :mod:`repro.optimizer.manager`): the *optimization cycle* — parallel
+  deployment, simultaneous execution, asynchronous model optimization,
+  reconfiguration — driven by the user's :class:`Optimization` subclass
+  (the paper's Listing 1 API: ``run`` / ``prepare`` / ``launch`` /
+  ``finalize``) and automated by the :class:`OptimizationManager`.
+- **Phase III — Finalization** (:mod:`repro.optimizer.summary`): the
+  reproducibility summary (problem definition, sampler, algorithm and
+  hyperparameters, every evaluation, best configuration found).
+"""
+
+from repro.optimizer.problem import (
+    MetricConstraint,
+    Objective,
+    OptimizationProblem,
+)
+from repro.optimizer.optimization import Optimization
+from repro.optimizer.summary import ReproducibilitySummary
+from repro.optimizer.config import OptimizerConf
+from repro.optimizer.manager import OptimizationManager, OptimizationOutcome
+from repro.optimizer.decomposition import DecomposedOptimization, DecompositionResult
+
+__all__ = [
+    "Objective",
+    "MetricConstraint",
+    "OptimizationProblem",
+    "Optimization",
+    "ReproducibilitySummary",
+    "OptimizerConf",
+    "OptimizationManager",
+    "OptimizationOutcome",
+    "DecomposedOptimization",
+    "DecompositionResult",
+]

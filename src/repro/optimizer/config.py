@@ -1,0 +1,167 @@
+"""The ``optimizer_conf`` configuration file (paper Sec. V-A).
+
+The whole optimization cycle is defined through a configuration structure
+that "can be easily adapted to different optimization problems". This
+module parses that structure (a dict, or a JSON file) into typed pieces:
+the search :class:`~repro.bayesopt.space.Space`, the
+:class:`~repro.optimizer.problem.OptimizationProblem`, the search
+algorithm, and the trial scheduler.
+
+Example::
+
+    conf = OptimizerConf.from_dict({
+        "name": "plantnet_engine",
+        "variables": [
+            {"name": "http", "type": "integer", "low": 20, "high": 60},
+            {"name": "download", "type": "integer", "low": 20, "high": 60},
+            {"name": "simsearch", "type": "integer", "low": 20, "high": 60},
+            {"name": "extract", "type": "integer", "low": 3, "high": 9},
+        ],
+        "objectives": [{"metric": "user_resp_time", "mode": "min"}],
+        "algorithm": {
+            "base_estimator": "ET",
+            "n_initial_points": 45,
+            "initial_point_generator": "lhs",
+            "acq_func": "gp_hedge",
+        },
+        "max_concurrent": 2,
+        "num_samples": 10,
+    })
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.bayesopt.space import Categorical, Dimension, Integer, Real, Space
+from repro.errors import ValidationError
+from repro.optimizer.problem import MetricConstraint, Objective, OptimizationProblem
+from repro.search.algos import SearchAlgorithm, SurrogateSearch
+from repro.search.schedulers import AsyncHyperBandScheduler, FIFOScheduler, TrialScheduler
+from repro.utils.serialization import load_json
+
+__all__ = ["OptimizerConf"]
+
+
+def _parse_dimension(spec: Mapping[str, Any]) -> Dimension:
+    kind = str(spec.get("type", "")).lower()
+    name = spec.get("name", "")
+    if not name:
+        raise ValidationError(f"variable needs a name: {spec}")
+    if kind == "integer":
+        return Integer(int(spec["low"]), int(spec["high"]), name=name)
+    if kind == "real":
+        return Real(
+            float(spec["low"]),
+            float(spec["high"]),
+            prior=spec.get("prior", "uniform"),
+            name=name,
+        )
+    if kind == "categorical":
+        return Categorical(list(spec["categories"]), name=name)
+    raise ValidationError(f"unknown variable type {kind!r} for {name!r}")
+
+
+@dataclass
+class OptimizerConf:
+    """Typed view of an ``optimizer_conf`` document."""
+
+    name: str
+    variables: list[dict[str, Any]]
+    objectives: list[dict[str, Any]]
+    constraints: list[dict[str, Any]] = field(default_factory=list)
+    algorithm: dict[str, Any] = field(default_factory=dict)
+    scheduler: dict[str, Any] = field(default_factory=dict)
+    num_samples: int = 10
+    max_concurrent: int | None = None
+    executor: str = "sync"
+    max_workers: int = 4
+    seed: int | None = None
+    #: repeat count and duration for the final validation campaign
+    #: (``e2clab optimize --repeat 6 --duration 1380``).
+    repeat: int = 0
+    duration: float | None = None
+    workdir: str = ".repro-optimizations"
+
+    def __post_init__(self) -> None:
+        if not self.variables:
+            raise ValidationError("optimizer_conf declares no variables")
+        if not self.objectives:
+            raise ValidationError("optimizer_conf declares no objectives")
+        if self.num_samples < 1:
+            raise ValidationError("num_samples must be >= 1")
+        if self.repeat < 0:
+            raise ValidationError("repeat must be >= 0")
+
+    # -- constructors ----------------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OptimizerConf":
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        unknown = set(data) - known
+        if unknown:
+            raise ValidationError(f"unknown optimizer_conf keys: {sorted(unknown)}")
+        return cls(**dict(data))  # type: ignore[arg-type]
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "OptimizerConf":
+        return cls.from_dict(load_json(path))
+
+    # -- builders ---------------------------------------------------------------------
+
+    def build_space(self) -> Space:
+        return Space([_parse_dimension(spec) for spec in self.variables])
+
+    def build_problem(self) -> OptimizationProblem:
+        objectives = [
+            Objective(
+                metric=o["metric"],
+                mode=o.get("mode", "min"),
+                weight=float(o.get("weight", 1.0)),
+            )
+            for o in self.objectives
+        ]
+        constraints = [
+            MetricConstraint(
+                metric=c["metric"], bound=float(c["bound"]), kind=c.get("kind", "<=")
+            )
+            for c in self.constraints
+        ]
+        return OptimizationProblem(self.build_space(), objectives, constraints=constraints)
+
+    def build_search(self, space: Space) -> SearchAlgorithm:
+        algo = dict(self.algorithm)
+        kind = algo.pop("search", "surrogate").lower()
+        if kind in ("surrogate", "skopt"):
+            algo.setdefault("base_estimator", "ET")
+            algo.setdefault("initial_point_generator", "lhs")
+            algo.setdefault("acq_func", "gp_hedge")
+            algo.setdefault("random_state", self.seed)
+            return SurrogateSearch(space, mode="min", **algo)
+        if kind == "random":
+            from repro.search.algos import RandomSearch
+
+            return RandomSearch(space, mode="min", seed=self.seed)
+        raise ValidationError(f"unknown search algorithm {kind!r}")
+
+    def build_scheduler(self) -> TrialScheduler:
+        sched = dict(self.scheduler)
+        kind = sched.pop("type", "fifo").lower()
+        if kind == "fifo":
+            return FIFOScheduler("min")
+        if kind in ("asha", "async_hyperband", "asynchyperband"):
+            return AsyncHyperBandScheduler(mode="min", **sched)
+        raise ValidationError(f"unknown scheduler {kind!r}")
+
+    def algorithm_info(self) -> dict[str, Any]:
+        info = {"search": self.algorithm.get("search", "surrogate")}
+        info.update({k: v for k, v in self.algorithm.items() if k != "search"})
+        return info
+
+    def sampling_info(self) -> dict[str, Any]:
+        return {
+            "generator": self.algorithm.get("initial_point_generator", "lhs"),
+            "n_points": self.algorithm.get("n_initial_points", 10),
+        }

@@ -1,0 +1,225 @@
+"""The user-facing ``Optimization`` class (paper Listing 1).
+
+Users inherit :class:`Optimization` and
+
+- define the search in :meth:`run` (search algorithm, scheduler, metric,
+  number of samples — Listing 1 lines 5–26), typically via the
+  :meth:`execute` helper;
+- define the evaluation logic in :meth:`launch` (deploy the application on
+  the testbed, run it, collect metrics — Listing 1 line 31).
+
+The framework provides :meth:`prepare` (a dedicated directory per model
+evaluation), :meth:`finalize` (persists the evaluation computations), and
+:meth:`run_objective` chaining prepare → launch → finalize exactly like
+Listing 1 lines 28–35.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import OptimizationError
+from repro.experiments import EvaluationRecord, ExperimentArchive, ExperimentManifest
+from repro.optimizer.problem import OptimizationProblem
+from repro.optimizer.summary import ReproducibilitySummary
+from repro.search.algos import ConcurrencyLimiter, SearchAlgorithm, SurrogateSearch
+from repro.search.runner import ExperimentAnalysis, TrialRunner
+from repro.search.schedulers import TrialScheduler
+
+__all__ = ["Optimization"]
+
+#: metric name under which the scalarized objective is reported.
+SCALAR_METRIC = "objective"
+
+
+class Optimization(abc.ABC):
+    """Base class for user-defined optimizations."""
+
+    def __init__(
+        self,
+        problem: OptimizationProblem,
+        *,
+        name: str = "optimization",
+        workdir: str | Path = ".repro-optimizations",
+        seed: int | None = None,
+        description: str = "",
+    ) -> None:
+        self.problem = problem
+        self.name = name
+        self.seed = seed
+        manifest = ExperimentManifest(
+            name=name,
+            description=description,
+            seed=seed,
+            parameters={"problem": problem.describe()},
+        )
+        self.archive = ExperimentArchive(workdir, manifest)
+        self._lock = threading.Lock()
+        self._records: list[EvaluationRecord] = []
+
+    # -- the optimization cycle hooks (Listing 1 lines 28-35) -------------------------
+
+    def prepare(self) -> Path:
+        """Create a dedicated optimization directory for one evaluation."""
+        with self._lock:
+            return self.archive.new_evaluation_dir()
+
+    @abc.abstractmethod
+    def launch(self, config: Mapping[str, Any], **kwargs: Any) -> dict[str, float]:
+        """Deploy the configuration and return the measured metrics.
+
+        Implementations deploy the application workflow on the (simulated)
+        testbed, run the workload, and return every metric the problem's
+        objectives and constraints reference. ``kwargs`` may carry
+        ``seed=`` / ``duration=`` overrides from repeat campaigns.
+        """
+
+    def finalize(
+        self,
+        directory: Path,
+        config: Mapping[str, Any],
+        metrics: Mapping[str, Any],
+        *,
+        deployment: list[dict[str, Any]] | None = None,
+    ) -> EvaluationRecord:
+        """Persist the computations of one evaluation (reproducibility)."""
+        index = int(directory.name.split("-")[1])
+        record = EvaluationRecord(
+            index=index,
+            configuration=dict(config),
+            metrics=dict(metrics),
+            deployment=deployment or [],
+            seed=self.seed,
+        )
+        with self._lock:
+            self.archive.store_evaluation(record, directory)
+            self._records.append(record)
+        return record
+
+    def run_objective(self, config: Mapping[str, Any]) -> dict[str, float]:
+        """prepare → launch → finalize → report (Listing 1 lines 28-35)."""
+        directory = self.prepare()
+        metrics = dict(self.launch(config))
+        metrics[SCALAR_METRIC] = self.problem.scalarize(metrics)
+        self.finalize(directory, config, metrics)
+        return metrics
+
+    # -- the search (Listing 1 lines 5-26) ------------------------------------------------
+
+    @abc.abstractmethod
+    def run(self) -> ReproducibilitySummary:
+        """Define and execute the search; typically calls :meth:`execute`."""
+
+    def execute(
+        self,
+        *,
+        num_samples: int,
+        search_alg: SearchAlgorithm | None = None,
+        scheduler: TrialScheduler | None = None,
+        max_concurrent: int | None = None,
+        executor: str = "sync",
+        max_workers: int = 4,
+        algorithm_info: dict[str, Any] | None = None,
+        sampling_info: dict[str, Any] | None = None,
+    ) -> ReproducibilitySummary:
+        """Run the optimization cycle and emit the Phase III summary.
+
+        Defaults reproduce Listing 1: Extra-Trees surrogate, LHS initial
+        design, gp_hedge acquisition, concurrency-limited asynchronous
+        evaluation.
+        """
+        if search_alg is None:
+            n_initial = max(1, min(10, num_samples // 2))
+            search_alg = SurrogateSearch(
+                self.problem.space,
+                mode="min",
+                base_estimator="ET",
+                n_initial_points=n_initial,
+                initial_point_generator="lhs",
+                acq_func="gp_hedge",
+                random_state=self.seed,
+            )
+            algorithm_info = algorithm_info or {
+                "search": "SurrogateSearch",
+                "base_estimator": "ET",
+                "acq_func": "gp_hedge",
+                "n_initial_points": n_initial,
+            }
+            sampling_info = sampling_info or {
+                "generator": "lhs",
+                "n_points": n_initial,
+            }
+        if max_concurrent is not None:
+            search_alg = ConcurrencyLimiter(search_alg, max_concurrent)
+
+        start = time.perf_counter()
+        runner = TrialRunner(
+            self.run_objective,
+            search_alg,
+            metric=SCALAR_METRIC,
+            mode="min",
+            scheduler=scheduler,
+            num_samples=num_samples,
+            executor=executor,
+            max_workers=max_workers,
+            name=self.name,
+        )
+        analysis = runner.run()
+        wall = time.perf_counter() - start
+        summary = self.summarize(
+            analysis,
+            algorithm_info=algorithm_info or {"search": type(search_alg).__name__},
+            sampling_info=sampling_info or {},
+            wall_clock_s=wall,
+        )
+        with self._lock:
+            self.archive.store_summary(summary.to_dict())
+        return summary
+
+    # -- Phase III --------------------------------------------------------------------------
+
+    def summarize(
+        self,
+        analysis: ExperimentAnalysis,
+        *,
+        algorithm_info: dict[str, Any],
+        sampling_info: dict[str, Any],
+        wall_clock_s: float,
+    ) -> ReproducibilitySummary:
+        """Build the reproducibility summary from an experiment analysis."""
+        evaluations = []
+        values: list[float] = []
+        for trial in analysis.trials:
+            if SCALAR_METRIC not in trial.result:
+                continue
+            value = trial.result[SCALAR_METRIC]
+            values.append(value)
+            evaluations.append(
+                {
+                    "configuration": dict(trial.config),
+                    "metrics": dict(trial.result),
+                    "value": value,
+                }
+            )
+        if not values:
+            raise OptimizationError("no successful evaluations to summarize")
+        best_value = min(values)
+        best_idx = values.index(best_value)
+        # Convergence: first evaluation whose incumbent equals the final best.
+        convergence = next(
+            i + 1 for i, v in enumerate(values) if v <= best_value + 1e-12
+        )
+        return ReproducibilitySummary(
+            problem=self.problem.describe(),
+            sampling=sampling_info,
+            algorithm=algorithm_info,
+            evaluations=evaluations,
+            best_configuration=evaluations[best_idx]["configuration"],
+            best_value=best_value,
+            wall_clock_s=wall_clock_s,
+            convergence_evaluation=convergence,
+        )

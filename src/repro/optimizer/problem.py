@@ -1,0 +1,202 @@
+"""Phase I: the optimization problem (paper Eq. 1).
+
+An :class:`OptimizationProblem` is
+
+- **variables** — a :class:`~repro.bayesopt.space.Space` whose bounds are
+  Eq. 1's box constraints;
+- **objectives** — one or more metrics with a direction (min/max) and a
+  weight; multiple objectives are scalarized by the weighted sum of
+  normalized signed values (and a Pareto front can be extracted from the
+  evaluation history);
+- **constraints** — metric constraints such as "response time ≤ 4 s"
+  (Eq. 1's inequality constraints), enforced by penalty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.bayesopt.space import Space
+from repro.errors import ValidationError
+
+__all__ = ["Objective", "MetricConstraint", "OptimizationProblem"]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One metric to optimize."""
+
+    metric: str
+    mode: str = "min"
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("min", "max"):
+            raise ValidationError(f"mode must be 'min' or 'max', got {self.mode!r}")
+        if self.weight <= 0:
+            raise ValidationError("objective weight must be > 0")
+
+    def signed(self, value: float) -> float:
+        """Value in minimization convention."""
+        return value if self.mode == "min" else -value
+
+
+@dataclass(frozen=True)
+class MetricConstraint:
+    """An inequality constraint on an output metric (Eq. 1's g_j)."""
+
+    metric: str
+    bound: float
+    kind: str = "<="
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("<=", ">="):
+            raise ValidationError(f"kind must be '<=' or '>=', got {self.kind!r}")
+
+    def violation(self, value: float) -> float:
+        """Amount by which ``value`` violates the constraint (0 if ok)."""
+        if self.kind == "<=":
+            return max(0.0, value - self.bound)
+        return max(0.0, self.bound - value)
+
+    def satisfied(self, value: float) -> bool:
+        return self.violation(value) == 0.0
+
+    def __str__(self) -> str:
+        return f"{self.metric} {self.kind} {self.bound}"
+
+
+class OptimizationProblem:
+    """Variables + objective(s) + constraints, with scalarization helpers."""
+
+    def __init__(
+        self,
+        space: Space,
+        objectives: Objective | Sequence[Objective],
+        *,
+        constraints: Sequence[MetricConstraint] = (),
+        constraint_penalty: float = 1e3,
+    ) -> None:
+        self.space = space
+        self.objectives = (
+            [objectives] if isinstance(objectives, Objective) else list(objectives)
+        )
+        if not self.objectives:
+            raise ValidationError("problem needs at least one objective")
+        metric_names = [o.metric for o in self.objectives]
+        if len(set(metric_names)) != len(metric_names):
+            raise ValidationError(f"duplicate objective metrics: {metric_names}")
+        self.constraints = list(constraints)
+        if constraint_penalty <= 0:
+            raise ValidationError("constraint_penalty must be > 0")
+        self.constraint_penalty = float(constraint_penalty)
+
+    # -- basic properties --------------------------------------------------------------
+
+    @property
+    def is_single_objective(self) -> bool:
+        return len(self.objectives) == 1
+
+    @property
+    def primary_metric(self) -> str:
+        return self.objectives[0].metric
+
+    @property
+    def primary_mode(self) -> str:
+        return self.objectives[0].mode
+
+    # -- evaluation ---------------------------------------------------------------------
+
+    def _require(self, metrics: Mapping[str, float], metric: str) -> float:
+        try:
+            return float(metrics[metric])
+        except KeyError:
+            raise ValidationError(
+                f"evaluation produced no metric {metric!r}; has: {sorted(metrics)}"
+            ) from None
+
+    def feasible(self, metrics: Mapping[str, float]) -> bool:
+        """Whether all metric constraints hold."""
+        return all(c.satisfied(self._require(metrics, c.metric)) for c in self.constraints)
+
+    def scalarize(self, metrics: Mapping[str, float]) -> float:
+        """Weighted signed sum of objectives plus constraint penalties.
+
+        Always a *minimization* value. Infeasible points receive a penalty
+        proportional to the violation so the optimizer is pushed back into
+        the feasible region rather than hitting a cliff.
+        """
+        total = 0.0
+        for objective in self.objectives:
+            total += objective.weight * objective.signed(
+                self._require(metrics, objective.metric)
+            )
+        for constraint in self.constraints:
+            violation = constraint.violation(self._require(metrics, constraint.metric))
+            if violation > 0:
+                total += self.constraint_penalty * (1.0 + violation)
+        return total
+
+    # -- multi-objective helpers -----------------------------------------------------------
+
+    def dominates(self, a: Mapping[str, float], b: Mapping[str, float]) -> bool:
+        """Pareto dominance of evaluation ``a`` over ``b`` (signed values)."""
+        at_least_as_good = True
+        strictly_better = False
+        for objective in self.objectives:
+            va = objective.signed(self._require(a, objective.metric))
+            vb = objective.signed(self._require(b, objective.metric))
+            if va > vb + 1e-12:
+                at_least_as_good = False
+                break
+            if va < vb - 1e-12:
+                strictly_better = True
+        return at_least_as_good and strictly_better
+
+    def pareto_front(
+        self, evaluations: Sequence[Mapping[str, float]]
+    ) -> list[int]:
+        """Indices of non-dominated feasible evaluations."""
+        feasible = [
+            i for i, metrics in enumerate(evaluations) if self.feasible(metrics)
+        ]
+        front: list[int] = []
+        for i in feasible:
+            if not any(
+                self.dominates(evaluations[j], evaluations[i])
+                for j in feasible
+                if j != i
+            ):
+                front.append(i)
+        return front
+
+    # -- provenance --------------------------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-able Phase I definition (goes into the Phase III summary)."""
+        variables = []
+        for dim in self.space:
+            record: dict[str, Any] = {"name": dim.name, "type": type(dim).__name__}
+            for attr in ("low", "high", "prior", "categories"):
+                if hasattr(dim, attr):
+                    record[attr] = getattr(dim, attr)
+            variables.append(record)
+        return {
+            "variables": variables,
+            "objectives": [
+                {"metric": o.metric, "mode": o.mode, "weight": o.weight}
+                for o in self.objectives
+            ],
+            "constraints": [str(c) for c in self.constraints],
+        }
+
+    def best_index(self, scalar_values: Sequence[float]) -> int:
+        """Index of the best (lowest scalarized) evaluation."""
+        if not scalar_values:
+            raise ValidationError("no evaluations")
+        best = min(range(len(scalar_values)), key=lambda i: scalar_values[i])
+        if not math.isfinite(scalar_values[best]):
+            raise ValidationError("all evaluations are non-finite")
+        return best

@@ -1,0 +1,80 @@
+"""Phase III: the reproducibility summary.
+
+At the end of computations the methodology emits everything another
+researcher needs to reproduce the result: the optimization problem
+definition, the sample-selection method, the search algorithm with its
+hyperparameters, every point evaluated, and the best configuration found
+(paper Sec. III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.utils.tables import Table
+
+__all__ = ["ReproducibilitySummary"]
+
+
+@dataclass
+class ReproducibilitySummary:
+    """The Phase III summary of one optimization campaign."""
+
+    #: Phase I: variables, objectives, constraints (problem.describe()).
+    problem: dict[str, Any]
+    #: sample-selection method (e.g. ``{"generator": "lhs", "n_points": 45}``).
+    sampling: dict[str, Any]
+    #: search algorithm and hyperparameters.
+    algorithm: dict[str, Any]
+    #: every evaluated point: [{"configuration": ..., "metrics": ..., "value": ...}].
+    evaluations: list[dict[str, Any]] = field(default_factory=list)
+    #: best configuration found and its metrics.
+    best_configuration: dict[str, Any] = field(default_factory=dict)
+    best_value: float = float("nan")
+    #: wall-clock of the whole campaign (for the parallel-speedup claims).
+    wall_clock_s: float = 0.0
+    #: how many evaluations were needed until the incumbent stopped improving.
+    convergence_evaluation: int | None = None
+
+    @property
+    def n_evaluations(self) -> int:
+        return len(self.evaluations)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "problem": self.problem,
+            "sampling": self.sampling,
+            "algorithm": self.algorithm,
+            "evaluations": self.evaluations,
+            "best_configuration": self.best_configuration,
+            "best_value": self.best_value,
+            "wall_clock_s": self.wall_clock_s,
+            "convergence_evaluation": self.convergence_evaluation,
+        }
+
+    def render(self) -> str:
+        """Human-readable summary (what ``e2clab optimize`` prints)."""
+        lines = ["=== Optimization summary (Phase III) ==="]
+        lines.append(f"objectives:   {self.problem.get('objectives')}")
+        lines.append(f"constraints:  {self.problem.get('constraints')}")
+        lines.append(f"sampling:     {self.sampling}")
+        lines.append(f"algorithm:    {self.algorithm}")
+        lines.append(
+            f"evaluations:  {self.n_evaluations}"
+            + (
+                f" (converged after {self.convergence_evaluation})"
+                if self.convergence_evaluation is not None
+                else ""
+            )
+        )
+        lines.append(f"wall clock:   {self.wall_clock_s:.2f} s")
+        lines.append(f"best value:   {self.best_value:.6g}")
+        table = Table(["variable", "best value"], title="best configuration")
+        for key, value in self.best_configuration.items():
+            table.add_row([key, value])
+        lines.append(table.render())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

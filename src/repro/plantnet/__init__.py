@@ -1,0 +1,49 @@
+"""The Pl@ntNet application layer (paper Secs. II-A and IV).
+
+Glues the substrates together for the paper's experiments:
+
+- :mod:`repro.plantnet.configs` — the three configurations of Table IV
+  (baseline / preliminary optimum / refined optimum) and Eq. 2's search
+  space.
+- :mod:`repro.plantnet.service` — the Pl@ntNet engine and client-fleet
+  services (the *User-Defined Services* the paper had to implement,
+  Sec. V-C).
+- :mod:`repro.plantnet.scenario` — the Grid'5000 scenario: 42 nodes,
+  10 Gb client links, engine pinned to the V100 cluster; runs repeated
+  engine simulations and aggregates them per the measurement protocol.
+- :mod:`repro.plantnet.optimization` — the Listing 1 optimization
+  (``PlantNetOptimization``) against the scenario.
+- :mod:`repro.plantnet.growth` — the synthetic seasonal user-growth
+  generator behind Fig. 2.
+- :mod:`repro.plantnet.paper` — the paper's published numbers, used by
+  the benchmark harness for side-by-side reporting.
+"""
+
+from repro.plantnet.configs import (
+    BASELINE,
+    PRELIMINARY_OPTIMUM,
+    REFINED_OPTIMUM,
+    paper_search_space,
+    paper_problem,
+)
+from repro.plantnet.scenario import PlantNetScenario, ScenarioResult
+from repro.plantnet.optimization import PlantNetOptimization
+from repro.plantnet.service import PlantNetEngineService, ClientFleetService
+from repro.plantnet.growth import UserGrowthModel
+from repro.plantnet.scaleout import ScaleOutScenario, ScaleOutResult
+
+__all__ = [
+    "BASELINE",
+    "PRELIMINARY_OPTIMUM",
+    "REFINED_OPTIMUM",
+    "paper_search_space",
+    "paper_problem",
+    "PlantNetScenario",
+    "ScenarioResult",
+    "PlantNetOptimization",
+    "PlantNetEngineService",
+    "ClientFleetService",
+    "UserGrowthModel",
+    "ScaleOutScenario",
+    "ScaleOutResult",
+]

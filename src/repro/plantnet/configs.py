@@ -1,0 +1,56 @@
+"""Pl@ntNet configurations and the Eq. 2 optimization problem."""
+
+from __future__ import annotations
+
+from repro.bayesopt.space import Integer, Space
+from repro.engine.calibration import PRELIMINARY_OPTIMUM, REFINED_OPTIMUM
+from repro.engine.config import BASELINE_CONFIG as BASELINE
+from repro.engine.config import PAPER_SPACE_BOUNDS
+from repro.optimizer.problem import MetricConstraint, Objective, OptimizationProblem
+
+__all__ = [
+    "BASELINE",
+    "PRELIMINARY_OPTIMUM",
+    "REFINED_OPTIMUM",
+    "paper_search_space",
+    "paper_problem",
+    "USER_RESPONSE_METRIC",
+    "MAX_TOLERATED_RESPONSE_TIME",
+]
+
+#: metric name used throughout (Listing 1: ``metric="user_resp_time"``).
+USER_RESPONSE_METRIC = "user_resp_time"
+
+#: "to achieve a 4 seconds response time (the maximum tolerated by users)".
+MAX_TOLERATED_RESPONSE_TIME = 4.0
+
+
+def paper_search_space() -> Space:
+    """The Eq. 2 search space: http/download/simsearch ∈ [20,60], extract ∈ [3,9]."""
+    return Space(
+        [
+            Integer(*PAPER_SPACE_BOUNDS["http"], name="http"),
+            Integer(*PAPER_SPACE_BOUNDS["download"], name="download"),
+            Integer(*PAPER_SPACE_BOUNDS["simsearch"], name="simsearch"),
+            Integer(*PAPER_SPACE_BOUNDS["extract"], name="extract"),
+        ]
+    )
+
+
+def paper_problem(*, with_tolerance_constraint: bool = False) -> OptimizationProblem:
+    """Eq. 2: minimize UserResponseTime subject to the pool-size bounds.
+
+    ``with_tolerance_constraint`` adds the 4-second response-time ceiling
+    as an explicit metric constraint (the paper discusses it as the user
+    tolerance; Eq. 2 itself carries only the bounds).
+    """
+    constraints = (
+        [MetricConstraint(USER_RESPONSE_METRIC, MAX_TOLERATED_RESPONSE_TIME, "<=")]
+        if with_tolerance_constraint
+        else []
+    )
+    return OptimizationProblem(
+        paper_search_space(),
+        Objective(metric=USER_RESPONSE_METRIC, mode="min"),
+        constraints=constraints,
+    )

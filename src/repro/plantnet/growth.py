@@ -1,0 +1,96 @@
+"""Synthetic Pl@ntNet user-growth model (paper Fig. 2).
+
+Fig. 2 shows "exponential growth of new users every spring (peaks in
+May–June)". The real registration data is not public, so this model
+generates the same shape: an exponential baseline modulated by an annual
+seasonal peak centred on late May, with multiplicative noise. It drives the
+capacity-planning example (how many simultaneous requests to expect next
+spring) that motivates the paper's optimization question.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.seeding import spawn_rng
+from repro.utils.timeseries import TimeSeries
+
+__all__ = ["UserGrowthModel"]
+
+_DAYS_PER_YEAR = 365.25
+#: fraction of the year where the seasonal peak is centred (~May 25).
+_PEAK_PHASE = 0.40
+
+
+@dataclass(frozen=True)
+class UserGrowthModel:
+    """New-users-per-day generator with spring peaks.
+
+    ``rate(t) = base · exp(growth·t) · (1 + amplitude · bump(season(t)))``
+    where ``bump`` is a narrow Gaussian around the spring peak.
+    """
+
+    #: new users/day at t=0.
+    base_rate: float = 2000.0
+    #: yearly exponential growth factor (0.35 ≈ +42 %/year).
+    yearly_growth: float = 0.35
+    #: relative height of the spring peak over the baseline.
+    peak_amplitude: float = 2.5
+    #: width of the spring peak as a fraction of the year.
+    peak_width: float = 0.06
+    noise_cv: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise ValidationError("base_rate must be positive")
+        if self.peak_width <= 0:
+            raise ValidationError("peak_width must be positive")
+        if self.noise_cv < 0:
+            raise ValidationError("noise_cv must be >= 0")
+
+    def expected_rate(self, day: float) -> float:
+        """Deterministic new-users/day at ``day`` (days since t=0)."""
+        years = day / _DAYS_PER_YEAR
+        trend = self.base_rate * math.exp(self.yearly_growth * years)
+        season = (years - _PEAK_PHASE) % 1.0
+        # distance to the peak on the circular year
+        dist = min(season, 1.0 - season)
+        bump = math.exp(-0.5 * (dist / self.peak_width) ** 2)
+        return trend * (1.0 + self.peak_amplitude * bump)
+
+    def generate(self, days: int, *, seed: int | None = 0) -> TimeSeries:
+        """Daily new-user counts for ``days`` days (Fig. 2's series)."""
+        if days < 1:
+            raise ValidationError("days must be >= 1")
+        rng = spawn_rng(seed)
+        series = TimeSeries("new_users_per_day")
+        for day in range(days):
+            rate = self.expected_rate(float(day))
+            noisy = rate * float(rng.lognormal(0.0, self.noise_cv)) if self.noise_cv else rate
+            series.append(float(day), noisy)
+        return series
+
+    def spring_peak_ratio(self, year: int = 0) -> float:
+        """Peak-to-trough ratio within one year (Fig. 2's 'peaks')."""
+        days = np.arange(int(year * _DAYS_PER_YEAR), int((year + 1) * _DAYS_PER_YEAR))
+        rates = np.array([self.expected_rate(float(d)) for d in days])
+        return float(rates.max() / rates.min())
+
+    def expected_simultaneous_requests(
+        self, day: float, *, requests_per_user_per_day: float = 0.04, mean_response_s: float = 3.0
+    ) -> float:
+        """Translate user growth into engine load (capacity planning).
+
+        A crude Little's-law bridge: cumulative users × daily request rate
+        spread over the day gives arrivals/s; times the mean response time
+        gives the expected simultaneous requests in the engine.
+        """
+        # integrate expected_rate from 0..day (trapezoid, coarse 1-day grid)
+        days = np.arange(0.0, max(day, 1.0))
+        cumulative = float(np.trapezoid([self.expected_rate(d) for d in days], days)) if len(days) > 1 else 0.0
+        arrivals_per_s = cumulative * requests_per_user_per_day / 86400.0
+        return arrivals_per_s * mean_response_s

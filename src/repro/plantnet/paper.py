@@ -1,0 +1,88 @@
+"""The paper's published numbers, for side-by-side benchmark reporting.
+
+Every value here is transcribed from the paper (tables, figures, or the
+prose); the benchmark harness prints *paper vs measured* rows and asserts
+only the qualitative shape, never exact equality — our substrate is a
+calibrated simulator, not the authors' Grid'5000 testbed.
+"""
+
+from __future__ import annotations
+
+from repro.plantnet.configs import BASELINE, PRELIMINARY_OPTIMUM, REFINED_OPTIMUM
+
+__all__ = [
+    "TABLE_III",
+    "TABLE_IV",
+    "FIG3_BASELINE_120",
+    "FIG8_GAINS_PRELIMINARY",
+    "FIG11_GAINS_REFINED",
+    "FIG9_EXTRACT_SWEEP",
+    "FIG10_SIMSEARCH_SWEEP",
+    "GPU_MEMORY_CLAIM",
+    "WORKLOADS",
+]
+
+#: the three workloads of Sec. IV (simultaneous requests).
+WORKLOADS = (80, 120, 140)
+
+#: Table III: baseline vs preliminary optimum at 80 simultaneous requests.
+TABLE_III = {
+    "baseline": {"config": BASELINE, "user_resp_time": 2.657, "std": 0.0914},
+    "preliminary": {
+        "config": PRELIMINARY_OPTIMUM,
+        "user_resp_time": 2.484,
+        "std": 0.0912,
+    },
+    "convergence_evaluations": 9,
+}
+
+#: Table IV adds the refined optimum (extract 6).
+TABLE_IV = {
+    "baseline": {"config": BASELINE, "user_resp_time": 2.657, "std": 0.0914},
+    "preliminary": {
+        "config": PRELIMINARY_OPTIMUM,
+        "user_resp_time": 2.484,
+        "std": 0.0912,
+    },
+    "refined": {"config": REFINED_OPTIMUM, "user_resp_time": 2.476, "std": 0.0826},
+}
+
+#: Fig. 3: the baseline serves at most 120 simultaneous requests within the
+#: 4-second tolerance (3.86 ± 0.13 s at 120).
+FIG3_BASELINE_120 = {"user_resp_time": 3.86, "std": 0.13, "tolerance_s": 4.0}
+
+#: Fig. 8: preliminary-vs-baseline response-time gain per workload.
+FIG8_GAINS_PRELIMINARY = {80: 0.069, 120: 0.022, 140: 0.067}
+
+#: Fig. 11 / Sec. IV-C: refined-vs-baseline gain per workload.
+FIG11_GAINS_REFINED = {80: 0.072, 120: 0.063, 140: 0.098}
+
+#: Fig. 9 qualitative facts for the extract OAT (pool sizes 5..9 around the
+#: preliminary optimum).
+FIG9_EXTRACT_SWEEP = {
+    "values": (5, 6, 7, 8, 9),
+    "best": 6,
+    #: Fig. 9a: extract=6 cuts response time by ~8.5 % vs 7 (Table IV says
+    #: 0.3 % for the same change — the paper's own campaigns disagree; we
+    #: assert only the ordering).
+    "gain_6_vs_7_fig9a": 0.085,
+    "gain_6_vs_7_table4": 0.003,
+    "extract_busy_100_at": (5, 6, 7),
+    "extract_busy_80_100_at": (8, 9),
+    "cpu_saturated_at": (8, 9),
+    "simsearch_busy_at_567": (0.50, 0.55, 0.60),
+    "simsearch_busy_at_89_min": 0.8,
+}
+
+#: Fig. 10 qualitative facts for the simsearch OAT (52..56).
+FIG10_SIMSEARCH_SWEEP = {
+    "values": (52, 53, 54, 55, 56),
+    "best": 55,
+    "gain_55_vs_53": 0.04,
+    #: the paper nonetheless keeps simsearch=53 in the refined optimum
+    #: (Table IV), implying the dip is within run-to-run variance.
+    "adopted_in_refined": 53,
+}
+
+#: Sec. IV-C summary / conclusions: ~30 % less GPU memory (7 GB vs 10 GB).
+GPU_MEMORY_CLAIM = {"refined_gb": 7.0, "baseline_gb": 10.0, "reduction": 0.30}

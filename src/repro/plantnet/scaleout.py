@@ -1,0 +1,142 @@
+"""Scale-out of the Identification Engine (paper Sec. V-B outlook).
+
+The paper's discussion: "The parallel evaluation of the application
+configuration has the potential to scale to hundreds of machines" — and
+Pl@ntNet's own capacity question (the spring peak) is ultimately answered
+by *adding engine nodes*. This module models the horizontal scale-out: N
+engine replicas behind an ideal least-loaded balancer, each replica an
+independent engine node on its own chifflot machine.
+
+With a closed population of R clients and N identical replicas, an ideal
+balancer pins R/N clients per replica; replicas are independent (no shared
+state — Pl@ntNet's engine is stateless per request), so the system is N
+parallel closed networks. Response time is pooled over replicas,
+throughput summed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.config import EngineModelParams, ThreadPoolConfig, WorkloadSpec
+from repro.engine.engine import IdentificationEngine
+from repro.engine.metrics import EngineRunResult
+from repro.errors import ValidationError
+from repro.utils.seeding import derive_seed
+from repro.utils.stats import RunningStats, Summary
+
+__all__ = ["ScaleOutResult", "ScaleOutScenario"]
+
+
+@dataclass
+class ScaleOutResult:
+    """Pooled outcome of one scale-out run."""
+
+    config: ThreadPoolConfig
+    replicas: int
+    simultaneous_requests: int
+    user_response_time: Summary
+    total_throughput: float
+    gpu_memory_gb_per_node: float
+    total_gpu_memory_gb: float
+    per_replica: list[EngineRunResult] = field(default_factory=list)
+
+    def meets_tolerance(self, tolerance_s: float = 4.0) -> bool:
+        return self.user_response_time.mean <= tolerance_s
+
+
+class ScaleOutScenario:
+    """Run one configuration on N engine replicas with split population."""
+
+    def __init__(
+        self,
+        *,
+        params: EngineModelParams | None = None,
+        duration: float = 345.0,
+        warmup: float = 60.0,
+        base_seed: int = 0,
+        max_replicas: int = 8,
+    ) -> None:
+        self.params = params or EngineModelParams()
+        self.duration = float(duration)
+        self.warmup = float(warmup)
+        self.base_seed = int(base_seed)
+        #: the simulated chifflot cluster has 8 GPU nodes.
+        self.max_replicas = int(max_replicas)
+
+    def run(
+        self,
+        config: ThreadPoolConfig,
+        simultaneous_requests: int,
+        replicas: int = 1,
+        *,
+        seed: int | None = None,
+    ) -> ScaleOutResult:
+        if replicas < 1:
+            raise ValidationError("replicas must be >= 1")
+        if replicas > self.max_replicas:
+            raise ValidationError(
+                f"chifflot offers {self.max_replicas} GPU nodes; requested {replicas}"
+            )
+        if simultaneous_requests < replicas:
+            raise ValidationError("need at least one client per replica")
+        base_seed = self.base_seed if seed is None else int(seed)
+
+        base, extra = divmod(simultaneous_requests, replicas)
+        runs: list[EngineRunResult] = []
+        pooled = RunningStats()
+        throughput = 0.0
+        for replica in range(replicas):
+            population = base + (1 if replica < extra else 0)
+            workload = WorkloadSpec(
+                simultaneous_requests=population,
+                duration=self.duration,
+                warmup=self.warmup,
+            )
+            engine = IdentificationEngine(
+                config,
+                workload,
+                self.params,
+                seed=derive_seed(base_seed, "replica", replica),
+            )
+            result = engine.run()
+            runs.append(result)
+            pooled.extend(result.series.user_response_time.values)
+            throughput += result.throughput
+
+        gpu_per_node = runs[0].gpu_memory_gb
+        return ScaleOutResult(
+            config=config,
+            replicas=replicas,
+            simultaneous_requests=simultaneous_requests,
+            user_response_time=pooled.summary(),
+            total_throughput=throughput,
+            gpu_memory_gb_per_node=gpu_per_node,
+            total_gpu_memory_gb=gpu_per_node * replicas,
+            per_replica=runs,
+        )
+
+    def replicas_needed(
+        self,
+        config: ThreadPoolConfig,
+        simultaneous_requests: int,
+        *,
+        tolerance_s: float = 4.0,
+        seed: int | None = None,
+    ) -> tuple[int, ScaleOutResult]:
+        """Smallest replica count meeting the response-time tolerance.
+
+        The capacity-planning primitive: "how many engine nodes do we need
+        for the spring peak?"
+        """
+        last: ScaleOutResult | None = None
+        for replicas in range(1, self.max_replicas + 1):
+            result = self.run(config, simultaneous_requests, replicas, seed=seed)
+            last = result
+            if result.meets_tolerance(tolerance_s):
+                return replicas, result
+        raise ValidationError(
+            f"even {self.max_replicas} replicas cannot serve "
+            f"{simultaneous_requests} requests within {tolerance_s}s "
+            f"(best: {last.user_response_time.mean:.2f}s)"  # type: ignore[union-attr]
+        )

@@ -1,0 +1,249 @@
+"""The Grid'5000 Pl@ntNet scenario (paper Sec. IV experimental setup).
+
+Reproduces the paper's deployment: 42 nodes — the Identification Engine on
+*chifflot* (Tesla V100), clients on *chiclet*, *chetemi*, *chifflet* and
+*gros* — with the client↔engine network configured at 10 Gb. A scenario run
+
+1. reserves and deploys the services on the simulated testbed (capturing
+   the deployment manifest for provenance),
+2. executes the engine DES for the requested duration, once per
+   repetition with independent seeds (the paper: 7 repetitions × 23 min,
+   metrics every 10 s),
+3. aggregates the repetitions into the paper's ``mean (± std)`` over all
+   samples.
+
+The client fleet's closed-loop behaviour is folded into the engine DES as
+its client population; the deployed :class:`ClientFleetService` carries the
+placement provenance, and the network path between the client clusters and
+*chifflot* contributes the round-trip latency to every response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.config import EngineModelParams, ThreadPoolConfig, WorkloadSpec
+from repro.engine.engine import IdentificationEngine
+from repro.engine.metrics import EngineRunResult
+from repro.monitoring.aggregate import RepetitionAggregate, aggregate_runs
+from repro.services.layers import Layer, LayerMapping, ScenarioDefinition
+from repro.testbed.catalog import grid5000
+from repro.utils.seeding import derive_seed
+
+__all__ = ["PlantNetScenario", "ScenarioResult"]
+
+#: node split of the paper's 42-node reservation (1 engine + 41 clients).
+CLIENT_NODES: dict[str, int] = {"chiclet": 8, "chetemi": 13, "chifflet": 8, "gros": 12}
+
+
+@dataclass
+class ScenarioResult:
+    """Aggregated outcome of one scenario campaign (all repetitions)."""
+
+    config: ThreadPoolConfig
+    simultaneous_requests: int
+    aggregate: RepetitionAggregate
+    runs: list[EngineRunResult] = field(default_factory=list)
+    deployment_manifest: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def user_response_time(self):  # -> Summary
+        return self.aggregate.user_response_time
+
+    def metrics(self) -> dict[str, float]:
+        """Flat metrics mapping for the optimization layer."""
+        agg = self.aggregate
+        out: dict[str, float] = {
+            "user_resp_time": agg.user_response_time.mean,
+            "user_resp_time_std": agg.user_response_time.std,
+            "throughput": agg.throughput.mean,
+            "cpu_usage": agg.cpu_usage.mean,
+            "gpu_utilization": agg.gpu_utilization.mean,
+            "gpu_memory_gb": agg.gpu_memory_gb,
+            "system_memory_gb": agg.system_memory_gb,
+        }
+        for name, summary in agg.task_times.items():
+            out[f"task_{name}"] = summary.mean
+        for name, summary in agg.pool_busy.items():
+            out[f"busy_{name}"] = summary.mean
+        # tail latency and energy (extensions beyond the paper's means)
+        p95 = [r.response_percentiles.get("p95") for r in self.runs if r.response_percentiles]
+        if p95:
+            out["user_resp_time_p95"] = float(sum(p95) / len(p95))
+        energy = [r.node_energy_wh + r.gpu_energy_wh for r in self.runs]
+        if energy:
+            out["energy_wh"] = float(sum(energy) / len(energy))
+        return out
+
+
+class PlantNetScenario:
+    """Deploys and runs the Pl@ntNet workflow on the simulated testbed."""
+
+    def __init__(
+        self,
+        *,
+        params: EngineModelParams | None = None,
+        duration: float = 1380.0,
+        warmup: float = 60.0,
+        sample_interval: float = 10.0,
+        repetitions: int = 1,
+        base_seed: int = 0,
+        use_testbed: bool = True,
+    ) -> None:
+        self.params = params or EngineModelParams()
+        self.duration = float(duration)
+        self.warmup = float(warmup)
+        self.sample_interval = float(sample_interval)
+        self.repetitions = int(max(1, repetitions))
+        self.base_seed = int(base_seed)
+        self.use_testbed = use_testbed
+
+    # -- scenario definition -----------------------------------------------------------
+
+    def definition(
+        self, config: ThreadPoolConfig, simultaneous_requests: int
+    ) -> ScenarioDefinition:
+        """The layers/services configuration for this run."""
+        cloud = Layer(
+            name="cloud",
+            services=(
+                LayerMapping(
+                    service="plantnet-engine",
+                    cluster="chifflot",
+                    nodes=1,
+                    require_gpu=True,
+                    options={"config": config, "cores": 40},
+                ),
+            ),
+        )
+        clusters = list(CLIENT_NODES)
+        base_share, extra = divmod(simultaneous_requests, len(clusters))
+        shares = {
+            cluster: base_share + (1 if i < extra else 0)
+            for i, cluster in enumerate(clusters)
+        }
+        edge = Layer(
+            name="edge",
+            services=tuple(
+                LayerMapping(
+                    service="plantnet-clients",
+                    cluster=cluster,
+                    nodes=count,
+                    options={"simultaneous_requests": max(1, shares[cluster])},
+                )
+                for cluster, count in CLIENT_NODES.items()
+            ),
+        )
+        definition = ScenarioDefinition(layers=[cloud, edge])
+        # The paper: "The network connection is configured with 10Gb."
+        definition.constrain("edge", "cloud", latency_ms=0.5, bandwidth_gbps=10.0)
+        return definition
+
+    # -- execution ----------------------------------------------------------------------
+
+    def run(
+        self,
+        config: ThreadPoolConfig,
+        simultaneous_requests: int = 80,
+        *,
+        repetitions: int | None = None,
+        duration: float | None = None,
+        seed: int | None = None,
+    ) -> ScenarioResult:
+        """Deploy (for provenance) and simulate all repetitions."""
+        reps = self.repetitions if repetitions is None else max(1, int(repetitions))
+        duration = self.duration if duration is None else float(duration)
+        base_seed = self.base_seed if seed is None else int(seed)
+
+        manifest: list[dict[str, Any]] = []
+        client_path = None
+        if self.use_testbed:
+            testbed = grid5000()
+            # Unique service instances per cluster would collide in the
+            # registry by name; deploy the cloud layer plus one aggregated
+            # client mapping per cluster manually for provenance.
+            reservation = testbed.reserve(
+                self.definition(config, simultaneous_requests).resource_requests(),
+                job_name="plantnet",
+            )
+            from repro.plantnet.service import ClientFleetService, PlantNetEngineService
+            from repro.services.base import ServiceContext
+            from repro.testbed.deployment import Deployment
+
+            deployment = Deployment(reservation=reservation)
+            engine_service = PlantNetEngineService()
+            engine_service.deploy(
+                ServiceContext(
+                    testbed=testbed,
+                    deployment=deployment,
+                    nodes=reservation.nodes_of("chifflot"),
+                    options={"config": config, "cores": 40},
+                )
+            )
+            remaining = simultaneous_requests
+            clusters = list(CLIENT_NODES)
+            per_cluster = max(1, simultaneous_requests // len(clusters))
+            for i, cluster in enumerate(clusters):
+                share = remaining if i == len(clusters) - 1 else min(per_cluster, remaining)
+                if share <= 0:
+                    continue
+                fleet = ClientFleetService()
+                fleet.deploy(
+                    ServiceContext(
+                        testbed=testbed,
+                        deployment=deployment,
+                        nodes=reservation.nodes_of(cluster),
+                        options={"simultaneous_requests": share},
+                    )
+                )
+                remaining -= share
+            manifest = deployment.manifest()
+            client_path = testbed.network.path("gros", "chifflot")
+            deployment.teardown()
+            reservation.release()
+
+        runs: list[EngineRunResult] = []
+        for repetition in range(reps):
+            workload = WorkloadSpec(
+                simultaneous_requests=simultaneous_requests,
+                duration=duration,
+                sample_interval=self.sample_interval,
+                warmup=self.warmup,
+            )
+            engine = IdentificationEngine(
+                config,
+                workload,
+                self.params,
+                seed=derive_seed(base_seed, "plantnet", repetition),
+                client_path=client_path,
+            )
+            runs.append(engine.run())
+
+        return ScenarioResult(
+            config=config,
+            simultaneous_requests=simultaneous_requests,
+            aggregate=aggregate_runs(runs),
+            runs=runs,
+            deployment_manifest=manifest,
+        )
+
+    def evaluate(
+        self,
+        config_dict: dict[str, Any],
+        simultaneous_requests: int = 80,
+        *,
+        seed: int | None = None,
+        duration: float | None = None,
+        repetitions: int | None = None,
+    ) -> dict[str, float]:
+        """Objective-style entry point: config dict in, metrics out."""
+        config = ThreadPoolConfig.from_dict(config_dict)
+        result = self.run(
+            config,
+            simultaneous_requests,
+            seed=seed,
+            duration=duration,
+            repetitions=repetitions,
+        )
+        return result.metrics()

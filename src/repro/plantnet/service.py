@@ -1,0 +1,106 @@
+"""User-defined services for the Pl@ntNet scenario (paper Sec. V-C).
+
+The paper states: *"in the work described in this paper, we had to
+implement the Pl@ntNet service"*. These are those services for the
+simulated testbed: the Identification Engine (GPU node, Docker-like
+resource claim) and the client fleet that submits requests.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import DeploymentError
+from repro.engine.config import ThreadPoolConfig
+from repro.services.base import Service, ServiceContext
+from repro.services.registry import register_service
+
+__all__ = ["PlantNetEngineService", "ClientFleetService"]
+
+
+@register_service
+class PlantNetEngineService(Service):
+    """The Identification Engine: one GPU node, pinned thread pools.
+
+    Options:
+
+    - ``config`` — a :class:`ThreadPoolConfig` or its dict form (required).
+    - ``cores`` — CPU cores claimed by the engine container (default 40,
+      paper Sec. II-A).
+    - ``memory_gb`` — container memory claim (default 64).
+    """
+
+    name = "plantnet-engine"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.config: ThreadPoolConfig | None = None
+        self.node_name: str | None = None
+
+    def deploy(self, context: ServiceContext) -> None:
+        raw = context.option("config")
+        if raw is None:
+            raise DeploymentError("plantnet-engine needs a 'config' option")
+        self.config = (
+            raw if isinstance(raw, ThreadPoolConfig) else ThreadPoolConfig.from_dict(raw)
+        )
+        node = self.require_nodes(context, 1)[0]
+        if node.spec.gpu_count == 0:
+            raise DeploymentError(
+                f"engine needs a GPU node, got {node.name} ({node.spec.model})"
+            )
+        cores = int(context.option("cores", 40))
+        memory = float(context.option("memory_gb", 64.0))
+        context.deployment.place(
+            self.name,
+            node,
+            cores=min(cores, node.spec.total_logical_cores),
+            memory_gb=memory,
+            gpus=1,
+            thread_pools=self.config.to_dict(),
+        )
+        self.node_name = node.name
+
+
+@register_service
+class ClientFleetService(Service):
+    """The request-submitting clients spread over the CPU clusters.
+
+    Options:
+
+    - ``simultaneous_requests`` — closed-loop population size (required).
+    - ``cores_per_node`` — client process footprint (default 4).
+    """
+
+    name = "plantnet-clients"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.simultaneous_requests: int = 0
+        self.clients_per_node: dict[str, int] = {}
+
+    def deploy(self, context: ServiceContext) -> None:
+        requests = int(context.option("simultaneous_requests", 0))
+        if requests < 1:
+            raise DeploymentError("plantnet-clients needs simultaneous_requests >= 1")
+        if not context.nodes:
+            raise DeploymentError("plantnet-clients got no nodes")
+        self.simultaneous_requests = requests
+        # Spread clients as evenly as possible over the fleet nodes.
+        base, extra = divmod(requests, len(context.nodes))
+        cores = int(context.option("cores_per_node", 4))
+        for i, node in enumerate(context.nodes):
+            count = base + (1 if i < extra else 0)
+            if count == 0:
+                continue
+            context.deployment.place(
+                self.name,
+                node,
+                cores=min(cores, node.spec.total_logical_cores),
+                memory_gb=2.0,
+                clients=count,
+            )
+            self.clients_per_node[node.name] = count
+
+    def total_clients(self) -> int:
+        return sum(self.clients_per_node.values())

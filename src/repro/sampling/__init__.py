@@ -1,0 +1,36 @@
+"""Initial-design samplers for surrogate model building (paper Sec. III-B1).
+
+The methodology's *Surrogate Model Building* step generates a few sample
+points within the variable bounds using sampling methods such as Latin
+Hypercube Sampling or Low Discrepancy Sampling. All samplers here produce
+points in the unit hypercube ``[0, 1)^d``; space transformation to real
+variable ranges happens in :mod:`repro.bayesopt.space`.
+
+Available samplers:
+
+- :class:`RandomSampler` — i.i.d. uniform.
+- :class:`LatinHypercubeSampler` — stratified, one point per row/column
+  (the paper's default, ``initial_point_generator="lhs"``).
+- :class:`HaltonSampler` — low-discrepancy van-der-Corput sequences with
+  coprime bases.
+- :class:`SobolSampler` — low-discrepancy (Joe–Kuo direction numbers, up
+  to 16 dimensions), with Owen-style random digit scrambling.
+- :class:`GridSampler` — full-factorial grid (for small spaces / OAT).
+"""
+
+from repro.sampling.base import Sampler, get_sampler
+from repro.sampling.random import RandomSampler
+from repro.sampling.lhs import LatinHypercubeSampler
+from repro.sampling.halton import HaltonSampler
+from repro.sampling.sobol import SobolSampler
+from repro.sampling.grid import GridSampler
+
+__all__ = [
+    "Sampler",
+    "get_sampler",
+    "RandomSampler",
+    "LatinHypercubeSampler",
+    "HaltonSampler",
+    "SobolSampler",
+    "GridSampler",
+]

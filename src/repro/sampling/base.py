@@ -1,0 +1,55 @@
+"""Sampler protocol and name-based lookup."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["Sampler", "get_sampler"]
+
+
+class Sampler(abc.ABC):
+    """Generates points in the unit hypercube ``[0, 1)^d``."""
+
+    #: name used in configurations (``initial_point_generator="lhs"``).
+    name: str = ""
+
+    @abc.abstractmethod
+    def generate(self, n_points: int, n_dims: int, rng: np.random.Generator) -> np.ndarray:
+        """Return an ``(n_points, n_dims)`` array of samples in ``[0, 1)``."""
+
+    @staticmethod
+    def _validate(n_points: int, n_dims: int) -> None:
+        if n_points < 1:
+            raise ValidationError(f"n_points must be >= 1, got {n_points}")
+        if n_dims < 1:
+            raise ValidationError(f"n_dims must be >= 1, got {n_dims}")
+
+
+def get_sampler(name: str) -> Sampler:
+    """Resolve a sampler by configuration name.
+
+    Accepted names: ``random``, ``lhs``, ``halton``, ``sobol``, ``grid``.
+    """
+    from repro.sampling.grid import GridSampler
+    from repro.sampling.halton import HaltonSampler
+    from repro.sampling.lhs import LatinHypercubeSampler
+    from repro.sampling.random import RandomSampler
+    from repro.sampling.sobol import SobolSampler
+
+    samplers: dict[str, type[Sampler]] = {
+        "random": RandomSampler,
+        "lhs": LatinHypercubeSampler,
+        "halton": HaltonSampler,
+        "sobol": SobolSampler,
+        "grid": GridSampler,
+    }
+    try:
+        return samplers[name.lower()]()
+    except KeyError:
+        raise ValidationError(
+            f"unknown sampler {name!r}; available: {sorted(samplers)}"
+        ) from None

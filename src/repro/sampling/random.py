@@ -1,0 +1,19 @@
+"""I.i.d. uniform sampling (the baseline every low-discrepancy method beats)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.base import Sampler
+
+__all__ = ["RandomSampler"]
+
+
+class RandomSampler(Sampler):
+    """Uniform random points in the unit hypercube."""
+
+    name = "random"
+
+    def generate(self, n_points: int, n_dims: int, rng: np.random.Generator) -> np.ndarray:
+        self._validate(n_points, n_dims)
+        return rng.random((n_points, n_dims))

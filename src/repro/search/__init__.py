@@ -1,0 +1,52 @@
+"""Asynchronous parallel trial execution (the reproduction's Ray Tune).
+
+The paper's Optimization Manager uses Ray Tune to run parallel application
+evaluations with state-of-the-art search algorithms, a concurrency limiter
+and the AsyncHyperBand trial scheduler (Listing 1). This package provides
+the equivalent pieces:
+
+- :class:`Trial` / :class:`TrialRunner` — trial lifecycle and the
+  asynchronous execution loop (sync, thread- or process-backed).
+- :class:`SurrogateSearch` — a search algorithm wrapping
+  :class:`repro.bayesopt.Optimizer` (the analogue of ``SkOptSearch``).
+- :class:`RandomSearch`, :class:`GridSearch` — non-model baselines.
+- :class:`ConcurrencyLimiter` — caps simultaneous suggestions.
+- :class:`FIFOScheduler`, :class:`AsyncHyperBandScheduler` — trial
+  schedulers (ASHA-style early stopping of bad configurations).
+- :func:`run` — the ``tune.run``-like facade returning an
+  :class:`ExperimentAnalysis`.
+"""
+
+from repro.search.trial import Trial, TrialStatus, Reporter
+from repro.search.algos import (
+    ConcurrencyLimiter,
+    GridSearch,
+    RandomSearch,
+    SearchAlgorithm,
+    SurrogateSearch,
+)
+from repro.search.schedulers import (
+    AsyncHyperBandScheduler,
+    FIFOScheduler,
+    TrialDecision,
+    TrialScheduler,
+)
+from repro.search.runner import ExperimentAnalysis, TrialRunner, run
+
+__all__ = [
+    "Trial",
+    "TrialStatus",
+    "Reporter",
+    "SearchAlgorithm",
+    "SurrogateSearch",
+    "RandomSearch",
+    "GridSearch",
+    "ConcurrencyLimiter",
+    "TrialScheduler",
+    "TrialDecision",
+    "FIFOScheduler",
+    "AsyncHyperBandScheduler",
+    "TrialRunner",
+    "ExperimentAnalysis",
+    "run",
+]

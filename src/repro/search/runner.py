@@ -1,0 +1,340 @@
+"""The trial runner: asynchronous parallel execution of trials.
+
+``run()`` is the facade equivalent to the paper's ``tune.run`` (Listing 1
+line 14): it drives a search algorithm, executes trials (inline, in
+threads, or in separate processes), consults the trial scheduler on
+intermediate results, and returns an :class:`ExperimentAnalysis`.
+
+Executor notes
+--------------
+- ``"sync"`` — deterministic sequential execution (tests, debugging).
+- ``"thread"`` — overlapped trials; supports schedulers and intermediate
+  reporting. Best when the trainable releases the GIL or is I/O-bound;
+  also what gives the constant-liar asynchronous semantics without
+  pickling constraints.
+- ``"process"`` — true CPU parallelism for pure-Python trainables (the
+  engine DES). The trainable must be picklable (a top-level function);
+  intermediate reporting/schedulers are unsupported across the process
+  boundary, so the scheduler must be FIFO.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.bayesopt.space import Space
+from repro.errors import TrialError, ValidationError
+from repro.search.algos import SearchAlgorithm, SurrogateSearch
+from repro.search.schedulers import FIFOScheduler, TrialDecision, TrialScheduler
+from repro.search.trial import Reporter, StopTrial, Trial, TrialStatus
+
+__all__ = ["TrialRunner", "ExperimentAnalysis", "run"]
+
+Trainable = Callable[..., Any]
+
+
+def _normalize_result(raw: Any, metric: str) -> dict[str, float]:
+    if isinstance(raw, dict):
+        if metric not in raw:
+            raise TrialError(f"trainable result lacks metric {metric!r}: {sorted(raw)}")
+        return {k: float(v) for k, v in raw.items()}
+    return {metric: float(raw)}
+
+
+def _process_entry(trainable: Trainable, config: dict[str, Any]) -> Any:
+    """Top-level entry for process executors (picklable)."""
+    return trainable(config)
+
+
+@dataclass
+class ExperimentAnalysis:
+    """Results of one experiment: all trials plus best-of views."""
+
+    name: str
+    metric: str
+    mode: str
+    trials: list[Trial] = field(default_factory=list)
+    wall_clock_s: float = 0.0
+
+    def _completed(self) -> list[Trial]:
+        done = [
+            t
+            for t in self.trials
+            if t.status in (TrialStatus.TERMINATED, TrialStatus.STOPPED)
+            and self.metric in t.result
+        ]
+        if not done:
+            raise TrialError("no completed trials with the target metric")
+        return done
+
+    @property
+    def best_trial(self) -> Trial:
+        key = lambda t: t.result[self.metric]  # noqa: E731
+        done = self._completed()
+        return min(done, key=key) if self.mode == "min" else max(done, key=key)
+
+    @property
+    def best_config(self) -> dict[str, Any]:
+        return dict(self.best_trial.config)
+
+    @property
+    def best_result(self) -> float:
+        return self.best_trial.result[self.metric]
+
+    def records(self) -> list[dict[str, Any]]:
+        """Flat record per trial (a dataframe-ready structure)."""
+        return [t.to_dict() for t in self.trials]
+
+    def objective_history(self) -> list[float]:
+        """Objective values in completion order (for convergence plots)."""
+        return [
+            t.result[self.metric]
+            for t in self.trials
+            if self.metric in t.result
+        ]
+
+    def __str__(self) -> str:
+        return (
+            f"ExperimentAnalysis({self.name!r}: {len(self.trials)} trials, "
+            f"best {self.metric}={self.best_result:.4g})"
+        )
+
+
+class TrialRunner:
+    """Executes trials against a search algorithm and a scheduler."""
+
+    def __init__(
+        self,
+        trainable: Trainable,
+        search_alg: SearchAlgorithm,
+        *,
+        metric: str,
+        mode: str = "min",
+        scheduler: TrialScheduler | None = None,
+        num_samples: int = 10,
+        executor: str = "sync",
+        max_workers: int = 4,
+        name: str = "experiment",
+        raise_on_failed_trial: bool = False,
+        log_dir: str | None = None,
+    ) -> None:
+        if mode not in ("min", "max"):
+            raise ValidationError("mode must be 'min' or 'max'")
+        if num_samples < 1:
+            raise ValidationError("num_samples must be >= 1")
+        if executor not in ("sync", "thread", "process"):
+            raise ValidationError(f"unknown executor {executor!r}")
+        self.trainable = trainable
+        self.search_alg = search_alg
+        self.metric = metric
+        self.mode = mode
+        self.scheduler = scheduler or FIFOScheduler(mode)
+        if executor == "process" and not isinstance(self.scheduler, FIFOScheduler):
+            raise ValidationError(
+                "process executor cannot consult a scheduler mid-trial; use FIFO"
+            )
+        self.num_samples = int(num_samples)
+        self.executor_kind = executor
+        self.max_workers = int(max_workers)
+        self.name = name
+        self.raise_on_failed_trial = raise_on_failed_trial
+        self._lock = threading.Lock()
+        self._log_path = None
+        if log_dir is not None:
+            from pathlib import Path
+
+            directory = Path(log_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            self._log_path = directory / f"{name}.jsonl"
+            self._log_path.write_text("")  # truncate previous runs
+
+    # -- single-trial execution -----------------------------------------------------
+
+    def _wants_reporter(self) -> bool:
+        import inspect
+
+        try:
+            params = inspect.signature(self.trainable).parameters
+        except (TypeError, ValueError):
+            return False
+        return len(params) >= 2
+
+    def _execute_inline(self, trial: Trial) -> None:
+        reporter = Reporter(trial, self._on_report, self._lock)
+        start = time.perf_counter()
+        trial.status = TrialStatus.RUNNING
+        try:
+            if self._wants_reporter():
+                raw = self.trainable(dict(trial.config), reporter)
+            else:
+                raw = self.trainable(dict(trial.config))
+            trial.result = _normalize_result(raw, self.metric)
+            trial.status = TrialStatus.TERMINATED
+        except StopTrial:
+            # Early-stopped: score with the last intermediate value.
+            last = trial.intermediate[-1][1] if trial.intermediate else float("nan")
+            trial.result = {self.metric: last}
+            trial.status = TrialStatus.STOPPED
+        except Exception as exc:  # noqa: BLE001 - recorded on the trial
+            trial.error = f"{type(exc).__name__}: {exc}"
+            trial.status = TrialStatus.ERROR
+        trial.runtime_s = time.perf_counter() - start
+
+    def _on_report(self, trial: Trial, step: int, value: float) -> bool:
+        decision = self.scheduler.on_result(trial, step, value)
+        return decision is TrialDecision.CONTINUE
+
+    def _log_trial(self, trial: Trial) -> None:
+        """Append the finished trial as one JSON line (Tune-style log)."""
+        if self._log_path is None:
+            return
+        import json
+
+        with self._lock:
+            with self._log_path.open("a") as handle:
+                handle.write(json.dumps(trial.to_dict()) + "\n")
+
+    def _after_trial(self, trial: Trial) -> None:
+        self._log_trial(trial)
+        self.scheduler.on_complete(trial)
+        if trial.status is TrialStatus.ERROR:
+            self.search_alg.on_trial_error(trial.trial_id, trial.config)
+            if self.raise_on_failed_trial:
+                raise TrialError(trial.error or "trial failed", trial_id=trial.trial_id)
+            return
+        value = trial.result.get(self.metric)
+        if value is not None and value == value:  # not NaN
+            self.search_alg.on_trial_complete(trial.trial_id, trial.config, value)
+
+    # -- main loop --------------------------------------------------------------------
+
+    def run(self) -> ExperimentAnalysis:
+        start = time.perf_counter()
+        trials: list[Trial] = []
+        if self.executor_kind == "sync":
+            created = 0
+            while created < self.num_samples:
+                trial_id = f"{self.name}_{created:05d}"
+                config = self.search_alg.suggest(trial_id)
+                if config is None:
+                    break  # exhausted (grid) — with sync there is nothing pending
+                trial = Trial(trial_id=trial_id, config=config)
+                trials.append(trial)
+                created += 1
+                self._execute_inline(trial)
+                self._after_trial(trial)
+            return self._analysis(trials, start)
+
+        pool_cls = ThreadPoolExecutor if self.executor_kind == "thread" else ProcessPoolExecutor
+        with pool_cls(max_workers=self.max_workers) as pool:
+            futures: dict[Future, Trial] = {}
+            created = 0
+            exhausted = False
+            while True:
+                # Submit as many trials as the searcher will give us.
+                while not exhausted and created < self.num_samples:
+                    trial_id = f"{self.name}_{created:05d}"
+                    config = self.search_alg.suggest(trial_id)
+                    if config is None:
+                        if not futures:
+                            exhausted = True  # nothing pending → truly done
+                        break
+                    trial = Trial(trial_id=trial_id, config=config)
+                    trials.append(trial)
+                    created += 1
+                    futures[self._submit(pool, trial)] = trial
+
+                if not futures:
+                    break
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    trial = futures.pop(future)
+                    self._collect(future, trial)
+                    self._after_trial(trial)
+                if created >= self.num_samples and not futures:
+                    break
+        return self._analysis(trials, start)
+
+    def _submit(self, pool: Any, trial: Trial) -> Future:
+        trial.status = TrialStatus.RUNNING
+        if self.executor_kind == "process":
+            trial._start = time.perf_counter()  # type: ignore[attr-defined]
+            return pool.submit(_process_entry, self.trainable, dict(trial.config))
+        return pool.submit(self._run_threaded, trial)
+
+    def _run_threaded(self, trial: Trial) -> None:
+        self._execute_inline(trial)
+
+    def _collect(self, future: Future, trial: Trial) -> None:
+        if self.executor_kind != "process":
+            future.result()  # propagate unexpected harness errors only
+            return
+        try:
+            raw = future.result()
+            trial.result = _normalize_result(raw, self.metric)
+            trial.status = TrialStatus.TERMINATED
+        except Exception as exc:  # noqa: BLE001 - recorded on the trial
+            trial.error = f"{type(exc).__name__}: {exc}"
+            trial.status = TrialStatus.ERROR
+        trial.runtime_s = time.perf_counter() - getattr(trial, "_start", time.perf_counter())
+
+    def _analysis(self, trials: list[Trial], start: float) -> ExperimentAnalysis:
+        return ExperimentAnalysis(
+            name=self.name,
+            metric=self.metric,
+            mode=self.mode,
+            trials=trials,
+            wall_clock_s=time.perf_counter() - start,
+        )
+
+
+def run(
+    trainable: Trainable,
+    *,
+    space: Space | None = None,
+    metric: str,
+    mode: str = "min",
+    num_samples: int = 10,
+    search_alg: SearchAlgorithm | None = None,
+    scheduler: TrialScheduler | None = None,
+    executor: str = "sync",
+    max_workers: int = 4,
+    name: str = "experiment",
+    seed: int | None = None,
+    log_dir: str | None = None,
+) -> ExperimentAnalysis:
+    """``tune.run``-style entry point.
+
+    Either pass a ``search_alg`` or a ``space`` (then a default
+    :class:`SurrogateSearch` with Extra-Trees and LHS initialization is
+    built, matching the paper's Listing 1 configuration).
+    """
+    if search_alg is None:
+        if space is None:
+            raise ValidationError("pass either search_alg or space")
+        search_alg = SurrogateSearch(
+            space,
+            mode=mode,
+            base_estimator="ET",
+            initial_point_generator="lhs",
+            acq_func="gp_hedge",
+            n_initial_points=max(1, min(10, num_samples // 2)),
+            random_state=seed,
+        )
+    runner = TrialRunner(
+        trainable,
+        search_alg,
+        metric=metric,
+        mode=mode,
+        scheduler=scheduler,
+        num_samples=num_samples,
+        executor=executor,
+        max_workers=max_workers,
+        name=name,
+        log_dir=log_dir,
+    )
+    return runner.run()

@@ -1,0 +1,92 @@
+"""Trial schedulers: early stopping of unpromising configurations."""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.search.trial import Trial
+
+__all__ = ["TrialDecision", "TrialScheduler", "FIFOScheduler", "AsyncHyperBandScheduler"]
+
+
+class TrialDecision(str, enum.Enum):
+    CONTINUE = "continue"
+    STOP = "stop"
+
+
+class TrialScheduler:
+    """Base scheduler: lets every trial run to completion."""
+
+    def __init__(self, mode: str = "min") -> None:
+        if mode not in ("min", "max"):
+            raise ValidationError("mode must be 'min' or 'max'")
+        self.mode = mode
+
+    def on_result(self, trial: Trial, step: int, value: float) -> TrialDecision:
+        return TrialDecision.CONTINUE
+
+    def on_complete(self, trial: Trial) -> None:
+        pass
+
+
+class FIFOScheduler(TrialScheduler):
+    """No early stopping (the default)."""
+
+
+class AsyncHyperBandScheduler(TrialScheduler):
+    """ASHA — asynchronous successive halving (Li et al. 2018).
+
+    Rungs are placed at ``grace_period · reduction_factor**k`` steps. When a
+    trial reaches a rung, it is stopped unless its value is within the best
+    ``1/reduction_factor`` fraction of everything recorded at that rung —
+    the asynchronous variant promotes immediately instead of waiting for a
+    full bracket, matching Ray Tune's ``AsyncHyperBandScheduler``.
+    """
+
+    def __init__(
+        self,
+        *,
+        mode: str = "min",
+        grace_period: int = 1,
+        reduction_factor: float = 3.0,
+        max_t: int = 100,
+    ) -> None:
+        super().__init__(mode)
+        if grace_period < 1:
+            raise ValidationError("grace_period must be >= 1")
+        if reduction_factor <= 1:
+            raise ValidationError("reduction_factor must be > 1")
+        if max_t < grace_period:
+            raise ValidationError("max_t must be >= grace_period")
+        self.grace_period = int(grace_period)
+        self.reduction_factor = float(reduction_factor)
+        self.max_t = int(max_t)
+        # rung step -> recorded values at that rung
+        self._rungs: dict[int, list[float]] = defaultdict(list)
+        rungs = []
+        step = self.grace_period
+        while step <= self.max_t:
+            rungs.append(int(step))
+            step = step * self.reduction_factor
+        self._rung_steps = rungs
+
+    def rung_for(self, step: int) -> int | None:
+        """The highest rung at or below ``step``, if any."""
+        eligible = [r for r in self._rung_steps if r <= step]
+        return eligible[-1] if eligible else None
+
+    def on_result(self, trial: Trial, step: int, value: float) -> TrialDecision:
+        rung = self.rung_for(step)
+        if rung is None:
+            return TrialDecision.CONTINUE
+        signed = value if self.mode == "min" else -value
+        recorded = self._rungs[rung]
+        recorded.append(signed)
+        if len(recorded) < self.reduction_factor:
+            return TrialDecision.CONTINUE  # not enough evidence yet
+        cutoff = float(np.quantile(recorded, 1.0 / self.reduction_factor))
+        return TrialDecision.CONTINUE if signed <= cutoff else TrialDecision.STOP

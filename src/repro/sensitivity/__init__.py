@@ -1,0 +1,20 @@
+"""Sensitivity analysis (paper Sec. IV-C).
+
+The paper refines the preliminary optimum with *One-at-a-time* (OAT)
+analysis — vary a single parameter while holding the rest, observe the
+output (Hamby 1995, the paper's [43]). :mod:`repro.sensitivity.oat`
+implements that workflow generically; :mod:`repro.sensitivity.morris` adds
+Morris elementary-effects screening as the natural next step the paper
+cites OAT literature from.
+"""
+
+from repro.sensitivity.oat import OATAnalysis, OATResult, ParameterSweep
+from repro.sensitivity.morris import MorrisAnalysis, MorrisResult
+
+__all__ = [
+    "OATAnalysis",
+    "OATResult",
+    "ParameterSweep",
+    "MorrisAnalysis",
+    "MorrisResult",
+]

@@ -1,0 +1,28 @@
+"""E2Clab *Services* abstraction (paper Sec. V-C).
+
+A *Service* represents any system providing a functionality in the scenario
+workflow (a Flink cluster, a Kafka broker, the Pl@ntNet engine, a client
+fleet). Users support new applications by subclassing :class:`Service`,
+overriding :meth:`Service.deploy` with their placement/installation logic,
+and registering the class so E2Clab managers can instantiate it from the
+``layers_services`` configuration.
+
+Layers (edge / fog / cloud) group services and map them to testbed
+resources; network constraints between layers are applied by the testbed's
+:class:`~repro.testbed.network.NetworkEmulator`.
+"""
+
+from repro.services.base import Service, ServiceContext
+from repro.services.registry import ServiceRegistry, get_default_registry, register_service
+from repro.services.layers import Layer, LayerMapping, ScenarioDefinition
+
+__all__ = [
+    "Service",
+    "ServiceContext",
+    "ServiceRegistry",
+    "register_service",
+    "get_default_registry",
+    "Layer",
+    "LayerMapping",
+    "ScenarioDefinition",
+]

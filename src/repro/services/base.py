@@ -1,0 +1,82 @@
+"""The Service base class users override to support their applications."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import DeploymentError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.testbed.deployment import Deployment
+    from repro.testbed.node import Node
+    from repro.testbed.site import Testbed
+
+__all__ = ["Service", "ServiceContext"]
+
+
+@dataclass
+class ServiceContext:
+    """Everything a service's ``deploy()`` needs: nodes, testbed, options."""
+
+    testbed: "Testbed"
+    deployment: "Deployment"
+    nodes: list["Node"]
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def option(self, key: str, default: Any = None) -> Any:
+        return self.options.get(key, default)
+
+
+class Service(abc.ABC):
+    """Base class for user-defined services (paper Sec. V-C).
+
+    Subclasses override :meth:`deploy` with the distribution of the service
+    to physical machines and the software installation logic. The framework
+    calls :meth:`deploy` during the experiment's ``launch()`` phase and
+    :meth:`destroy` during teardown.
+
+    Class attribute ``name`` identifies the service in configuration files;
+    it defaults to the lowercased class name.
+    """
+
+    #: configuration identifier; override in subclasses if needed.
+    name: str = ""
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        if not cls.name:
+            cls.name = cls.__name__.lower()
+
+    def __init__(self) -> None:
+        self.deployed = False
+        self.placements: list[Any] = []
+
+    @abc.abstractmethod
+    def deploy(self, context: ServiceContext) -> None:
+        """Place and install the service on ``context.nodes``.
+
+        Implementations should call ``context.deployment.place(...)`` for
+        every instance so the placement is captured for reproducibility.
+        """
+
+    def destroy(self) -> None:
+        """Tear the service down (default: mark undeployed)."""
+        self.deployed = False
+
+    # -- helpers for subclasses ---------------------------------------------------
+
+    def require_nodes(self, context: ServiceContext, count: int) -> list["Node"]:
+        """Return the first ``count`` nodes, failing with a clear error."""
+        if len(context.nodes) < count:
+            raise DeploymentError(
+                f"service {self.name!r} needs {count} nodes, got {len(context.nodes)}"
+            )
+        return context.nodes[:count]
+
+    def mark_deployed(self) -> None:
+        self.deployed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Service {self.name} {'deployed' if self.deployed else 'pending'}>"

@@ -1,0 +1,165 @@
+"""Layers and scenario definitions: the ``layers_services`` configuration.
+
+E2Clab describes an experiment scenario as *layers* (edge / fog / cloud),
+each hosting services mapped onto testbed clusters. A
+:class:`ScenarioDefinition` is the in-memory form of that configuration; its
+:meth:`ScenarioDefinition.deploy` reserves the nodes, instantiates every
+service through the registry, applies the declared network constraints, and
+returns the live deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import DeploymentError, ValidationError
+from repro.services.base import Service, ServiceContext
+from repro.services.registry import ServiceRegistry, get_default_registry
+from repro.testbed.deployment import Deployment
+from repro.testbed.network import Link
+from repro.testbed.reservation import ResourceRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.testbed.site import Testbed
+
+__all__ = ["Layer", "LayerMapping", "ScenarioDefinition", "DeployedScenario"]
+
+#: Conventional layer names of the continuum.
+KNOWN_LAYERS = ("edge", "fog", "cloud")
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """One service placed in a layer, mapped to testbed resources."""
+
+    service: str
+    cluster: str
+    nodes: int = 1
+    require_gpu: bool = False
+    options: dict[str, Any] = field(default_factory=dict, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValidationError(f"service {self.service!r} needs >= 1 node")
+
+
+@dataclass(frozen=True)
+class Layer:
+    """A named layer grouping service mappings."""
+
+    name: str
+    services: tuple[LayerMapping, ...]
+
+    def __post_init__(self) -> None:
+        if not self.services:
+            raise ValidationError(f"layer {self.name!r} declares no services")
+
+
+@dataclass
+class DeployedScenario:
+    """The live result of deploying a scenario."""
+
+    deployment: Deployment
+    services: dict[str, Service]
+    layer_of_service: dict[str, str]
+
+    def service(self, name: str) -> Service:
+        try:
+            return self.services[name]
+        except KeyError:
+            raise DeploymentError(f"service {name!r} not part of this scenario") from None
+
+    def teardown(self) -> None:
+        for service in self.services.values():
+            service.destroy()
+        self.deployment.teardown()
+        self.deployment.reservation.release()
+
+
+@dataclass
+class ScenarioDefinition:
+    """The experiment scenario: layers, services, network constraints."""
+
+    layers: list[Layer]
+    #: (layer_a, layer_b, latency_ms, bandwidth_gbps, loss) network rules.
+    network_constraints: list[tuple[str, str, float, float, float]] = field(
+        default_factory=list
+    )
+
+    def __post_init__(self) -> None:
+        names = [layer.name for layer in self.layers]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate layer names: {names}")
+
+    def constrain(
+        self,
+        layer_a: str,
+        layer_b: str,
+        *,
+        latency_ms: float,
+        bandwidth_gbps: float,
+        loss: float = 0.0,
+    ) -> None:
+        """Declare an E2Clab-style network constraint between two layers."""
+        self.network_constraints.append((layer_a, layer_b, latency_ms, bandwidth_gbps, loss))
+
+    def resource_requests(self) -> list[ResourceRequest]:
+        """The reservation this scenario needs (one request per mapping)."""
+        return [
+            ResourceRequest(cluster=m.cluster, nodes=m.nodes, require_gpu=m.require_gpu)
+            for layer in self.layers
+            for m in layer.services
+        ]
+
+    def deploy(
+        self,
+        testbed: "Testbed",
+        *,
+        registry: ServiceRegistry | None = None,
+        job_name: str = "scenario",
+    ) -> DeployedScenario:
+        """Reserve nodes, apply network constraints, deploy every service."""
+        registry = registry or get_default_registry()
+        reservation = testbed.reserve(self.resource_requests(), job_name=job_name)
+        deployment = Deployment(reservation=reservation)
+
+        for layer_a, layer_b, latency, bandwidth, loss in self.network_constraints:
+            testbed.network.add_link(
+                Link(layer_a, layer_b, latency_ms=latency, bandwidth_gbps=bandwidth, loss=loss)
+            )
+
+        services: dict[str, Service] = {}
+        layer_of: dict[str, str] = {}
+        cursor: dict[str, int] = {}
+        try:
+            for layer in self.layers:
+                for mapping in layer.services:
+                    start = cursor.get(mapping.cluster, 0)
+                    nodes = reservation.nodes_of(mapping.cluster)[start : start + mapping.nodes]
+                    cursor[mapping.cluster] = start + mapping.nodes
+                    service = registry.create(mapping.service)
+                    context = ServiceContext(
+                        testbed=testbed,
+                        deployment=deployment,
+                        nodes=nodes,
+                        options=dict(mapping.options),
+                    )
+                    service.deploy(context)
+                    service.mark_deployed()
+                    # A service may be instantiated several times (e.g. a
+                    # client fleet per cluster); number the duplicates.
+                    key = mapping.service
+                    counter = 2
+                    while key in services:
+                        key = f"{mapping.service}.{counter}"
+                        counter += 1
+                    services[key] = service
+                    layer_of[key] = layer.name
+        except Exception:
+            deployment.teardown()
+            reservation.release()
+            raise
+        return DeployedScenario(
+            deployment=deployment, services=services, layer_of_service=layer_of
+        )

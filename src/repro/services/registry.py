@@ -1,0 +1,70 @@
+"""Service registry: name → Service class resolution for configurations."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Type
+
+from repro.errors import ValidationError
+from repro.services.base import Service
+
+__all__ = ["ServiceRegistry", "register_service", "get_default_registry"]
+
+
+class ServiceRegistry:
+    """Maps service names to :class:`Service` subclasses."""
+
+    def __init__(self) -> None:
+        self._services: dict[str, Type[Service]] = {}
+
+    def register(self, service_cls: Type[Service]) -> Type[Service]:
+        """Register a class (usable as a decorator)."""
+        if not (isinstance(service_cls, type) and issubclass(service_cls, Service)):
+            raise ValidationError(f"{service_cls!r} is not a Service subclass")
+        name = service_cls.name
+        existing = self._services.get(name)
+        if existing is not None and existing is not service_cls:
+            raise ValidationError(
+                f"service name {name!r} already registered by {existing.__name__}"
+            )
+        self._services[name] = service_cls
+        return service_cls
+
+    def resolve(self, name: str) -> Type[Service]:
+        try:
+            return self._services[name]
+        except KeyError:
+            raise ValidationError(
+                f"unknown service {name!r}; registered: {sorted(self._services)}"
+            ) from None
+
+    def create(self, name: str) -> Service:
+        return self.resolve(name)()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._services))
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+
+_default_registry = ServiceRegistry()
+
+
+def get_default_registry() -> ServiceRegistry:
+    """The process-wide registry used by configuration loading."""
+    return _default_registry
+
+
+def register_service(service_cls: Type[Service]) -> Type[Service]:
+    """Decorator registering a service in the default registry.
+
+    Example::
+
+        @register_service
+        class FlinkCluster(Service):
+            def deploy(self, context): ...
+    """
+    return _default_registry.register(service_cls)

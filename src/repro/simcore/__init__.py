@@ -1,0 +1,72 @@
+"""A compact discrete-event simulation (DES) kernel, SimPy-style.
+
+The paper evaluates the real Pl@ntNet engine on Grid'5000; this reproduction
+replaces the physical system with discrete-event simulation. The kernel here
+provides:
+
+- :class:`Environment` — the event loop (virtual clock, event heap).
+- Processes as Python generators that ``yield`` events
+  (:meth:`Environment.process`).
+- :class:`Timeout` — wake up after a virtual delay.
+- :class:`Resource` / :class:`PriorityResource` — capacity-limited resources
+  with built-in busy-time and queueing statistics (thread pools!).
+- :class:`Store` / :class:`Container` — item and level stores.
+- :func:`all_of` / :func:`any_of` — event composition.
+
+Example::
+
+    from repro import simcore
+
+    def worker(env, pool, results):
+        with pool.request() as req:
+            yield req
+            yield env.timeout(2.0)
+        results.append(env.now)
+
+    env = simcore.Environment()
+    pool = simcore.Resource(env, capacity=1)
+    results = []
+    env.process(worker(env, pool, results))
+    env.process(worker(env, pool, results))
+    env.run()
+    assert results == [2.0, 4.0]
+"""
+
+from repro.simcore.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+    all_of,
+    any_of,
+)
+from repro.simcore.core import Environment, StopSimulation
+from repro.simcore.resources import (
+    Container,
+    PriorityResource,
+    Request,
+    Resource,
+    ResourceStats,
+    Store,
+)
+
+__all__ = [
+    "Environment",
+    "StopSimulation",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "all_of",
+    "any_of",
+    "Resource",
+    "PriorityResource",
+    "Request",
+    "ResourceStats",
+    "Store",
+    "Container",
+]

@@ -1,0 +1,150 @@
+"""The simulation environment: virtual clock and event heap."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.simcore.events import NORMAL, Event, Process, Timeout
+
+__all__ = ["Environment", "StopSimulation", "EmptySchedule"]
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Environment.run` at ``until``."""
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """Discrete-event execution environment.
+
+    Maintains the virtual clock (:attr:`now`) and a priority heap of
+    scheduled events. Heap entries are ordered by ``(time, priority,
+    sequence)`` so same-instant events process in deterministic FIFO order
+    within a priority class — determinism is a hard requirement for the
+    paper's reproducibility goals.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Queue ``event`` for processing after ``delay`` time units."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event; advance the clock to its time."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - defensive
+            raise SimulationError(f"event {event!r} processed twice")
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+
+    # -- factories ----------------------------------------------------------
+
+    def process(self, generator: Generator[Event, Any, Any], name: str | None = None) -> Process:
+        """Start a process from a generator; returns its completion event."""
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Event succeeding after ``delay`` virtual time units."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """A bare, untriggered event (trigger it with succeed/fail)."""
+        return Event(self)
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        - ``None``: run until no events remain;
+        - a number: run until the clock reaches it (exclusive of events
+          scheduled exactly at it only in the sense SimPy uses — the clock is
+          set to ``until`` on return);
+        - an :class:`Event`: run until that event is processed and return its
+          value (re-raising its exception if it failed).
+        """
+        stop: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                if until.processed:
+                    if not until._ok:
+                        raise until._value
+                    return until._value
+                stop = until
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(f"until={at} is in the past (now={self._now})")
+                stop = Event(self)
+                stop._ok = True
+                stop._value = None
+                # URGENT-0 so the stop fires before same-time normal events.
+                self._eid += 1
+                heapq.heappush(self._queue, (at, -1, self._eid, stop))
+            stop.callbacks.append(_stop_callback)
+
+        try:
+            while True:
+                try:
+                    self.step()
+                except EmptySchedule:
+                    break
+        except StopSimulation as signal:
+            return signal.args[0] if signal.args else None
+
+        if stop is not None and isinstance(until, Event) and not stop.triggered:
+            raise SimulationError(
+                f"run(until={until!r}) finished but the event never triggered"
+            )
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Environment(now={self._now}, pending={len(self._queue)})"
+
+
+def _stop_callback(event: Event) -> None:
+    if event._ok:
+        raise StopSimulation(event._value)
+    event._defused = True
+    exc = event._value
+    raise exc

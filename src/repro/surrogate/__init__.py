@@ -1,0 +1,41 @@
+"""Surrogate regression models, written from scratch on numpy.
+
+The methodology (paper Sec. III-B1) lists the surrogate families usable in
+the optimization cycle: Gaussian processes (Kriging), decision trees, random
+forests, extremely randomized trees (the paper's experiments use *Extra
+Trees*), gradient boosting regression trees, and polynomial regression.
+This package implements each of them with the two-method contract the
+Bayesian optimizer needs::
+
+    model.fit(X, y)
+    mean, std = model.predict(X, return_std=True)
+
+``std`` is the model's epistemic uncertainty estimate — ensembles use the
+spread across trees, the GP uses the posterior variance, simple models fall
+back to residual variance.
+"""
+
+from repro.surrogate.base import SurrogateModel, get_surrogate
+from repro.surrogate.tree import DecisionTreeRegressor
+from repro.surrogate.forest import ExtraTreesRegressor, RandomForestRegressor
+from repro.surrogate.gbrt import GradientBoostingRegressor, GBRTQuantile
+from repro.surrogate.gp import GaussianProcessRegressor, Matern, RBF
+from repro.surrogate.polynomial import PolynomialRegressor
+from repro.surrogate.knn import KNeighborsRegressor
+from repro.surrogate.dummy import DummyRegressor
+
+__all__ = [
+    "SurrogateModel",
+    "get_surrogate",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "ExtraTreesRegressor",
+    "GradientBoostingRegressor",
+    "GBRTQuantile",
+    "GaussianProcessRegressor",
+    "Matern",
+    "RBF",
+    "PolynomialRegressor",
+    "KNeighborsRegressor",
+    "DummyRegressor",
+]

@@ -1,0 +1,41 @@
+"""Constant-prediction baseline surrogate (sanity floor for ablations)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.surrogate.base import SurrogateModel, check_fit_inputs
+
+__all__ = ["DummyRegressor"]
+
+
+class DummyRegressor(SurrogateModel):
+    """Predicts the training mean with the training std as uncertainty."""
+
+    name = "dummy"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.mean_: float = 0.0
+        self.std_: float = 0.0
+
+    def fit(self, X: Any, y: Any) -> "DummyRegressor":
+        X, y = check_fit_inputs(X, y)
+        self.n_features_ = X.shape[1]
+        self.mean_ = float(y.mean())
+        self.std_ = float(y.std())
+        return self
+
+    def predict(
+        self, X: Any, return_std: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        X = self._check_predict_input(X)
+        if self.n_features_ is None:
+            raise ValidationError("DummyRegressor is not fitted yet")
+        mean = np.full(len(X), self.mean_)
+        if return_std:
+            return mean, np.full(len(X), max(self.std_, 1e-9))
+        return mean

@@ -1,0 +1,105 @@
+"""Tree ensembles: Random Forest and Extra-Trees (the paper's surrogate).
+
+Both provide the uncertainty estimate Bayesian optimization needs: the
+standard deviation of per-tree predictions (plus a small jitter floor so
+acquisition functions never divide by zero on duplicated points).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Literal
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.surrogate.base import SurrogateModel, check_fit_inputs
+from repro.surrogate.tree import DecisionTreeRegressor
+
+__all__ = ["RandomForestRegressor", "ExtraTreesRegressor"]
+
+
+class _BaseForest(SurrogateModel):
+    """Shared machinery for bagged tree ensembles."""
+
+    _splitter: Literal["best", "random"] = "best"
+    _bootstrap: bool = True
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        *,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | Literal["sqrt"] | None = None,
+        random_state: int | None = None,
+        std_floor: float = 1e-9,
+    ) -> None:
+        super().__init__()
+        if n_estimators < 1:
+            raise ValidationError("n_estimators must be >= 1")
+        self.n_estimators = int(n_estimators)
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.std_floor = float(std_floor)
+        self.estimators_: list[DecisionTreeRegressor] = []
+
+    def fit(self, X: Any, y: Any) -> "_BaseForest":
+        X, y = check_fit_inputs(X, y)
+        self.n_features_ = X.shape[1]
+        rng = np.random.default_rng(self.random_state)
+        self.estimators_ = []
+        n = len(y)
+        for _ in range(self.n_estimators):
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                splitter=self._splitter,
+                random_state=np.random.default_rng(rng.integers(0, 2**63)),
+            )
+            if self._bootstrap:
+                idx = rng.integers(0, n, size=n)
+                tree.fit(X[idx], y[idx])
+            else:
+                tree.fit(X, y)
+            self.estimators_.append(tree)
+        return self
+
+    def predict(
+        self, X: Any, return_std: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        X = self._check_predict_input(X)
+        if not self.estimators_:
+            raise ValidationError(f"{type(self).__name__} is not fitted yet")
+        preds = np.stack([tree.predict(X) for tree in self.estimators_])
+        mean = preds.mean(axis=0)
+        if return_std:
+            std = preds.std(axis=0)
+            return mean, np.maximum(std, self.std_floor)
+        return mean
+
+
+class RandomForestRegressor(_BaseForest):
+    """Breiman-style forest: bootstrap rows + best splits on feature subsets."""
+
+    name = "RF"
+    _splitter = "best"
+    _bootstrap = True
+
+    def __init__(self, n_estimators: int = 50, **kwargs: Any) -> None:
+        kwargs.setdefault("max_features", "sqrt")
+        super().__init__(n_estimators, **kwargs)
+
+
+class ExtraTreesRegressor(_BaseForest):
+    """Extremely randomized trees (Geurts 2006): random thresholds, no
+    bootstrap — the ``base_estimator='ET'`` of the paper's Listing 1."""
+
+    name = "ET"
+    _splitter = "random"
+    _bootstrap = False

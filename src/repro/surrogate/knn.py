@@ -1,0 +1,65 @@
+"""k-nearest-neighbours regression surrogate (cheap non-parametric option)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.surrogate.base import SurrogateModel, check_fit_inputs
+
+__all__ = ["KNeighborsRegressor"]
+
+
+class KNeighborsRegressor(SurrogateModel):
+    """Inverse-distance-weighted kNN with neighbour-spread uncertainty."""
+
+    name = "knn"
+
+    def __init__(self, n_neighbors: int = 5, *, weights: str = "distance") -> None:
+        super().__init__()
+        if n_neighbors < 1:
+            raise ValidationError("n_neighbors must be >= 1")
+        if weights not in ("uniform", "distance"):
+            raise ValidationError(f"unknown weights {weights!r}")
+        self.n_neighbors = int(n_neighbors)
+        self.weights = weights
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    def fit(self, X: Any, y: Any) -> "KNeighborsRegressor":
+        X, y = check_fit_inputs(X, y)
+        self.n_features_ = X.shape[1]
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        self._X = X / scale
+        self._y = y
+        return self
+
+    def predict(
+        self, X: Any, return_std: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        X = self._check_predict_input(X)
+        if self._X is None or self._y is None or self._scale is None:
+            raise ValidationError("KNeighborsRegressor is not fitted yet")
+        Xs = X / self._scale
+        k = min(self.n_neighbors, len(self._y))
+        mean = np.empty(len(Xs))
+        std = np.empty(len(Xs))
+        for i, row in enumerate(Xs):
+            d = np.sqrt(np.sum((self._X - row) ** 2, axis=1))
+            nearest = np.argpartition(d, k - 1)[:k]
+            ny = self._y[nearest]
+            if self.weights == "distance":
+                w = 1.0 / np.maximum(d[nearest], 1e-12)
+                w /= w.sum()
+            else:
+                w = np.full(k, 1.0 / k)
+            mean[i] = float(w @ ny)
+            std[i] = float(np.sqrt(np.maximum(w @ (ny - mean[i]) ** 2, 0.0)))
+        if return_std:
+            return mean, np.maximum(std, 1e-9)
+        return mean

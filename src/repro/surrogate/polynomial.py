@@ -1,0 +1,79 @@
+"""Polynomial (ridge) regression surrogate (Ostertagová 2012, paper's [29])."""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.surrogate.base import SurrogateModel, check_fit_inputs
+
+__all__ = ["PolynomialRegressor"]
+
+
+class PolynomialRegressor(SurrogateModel):
+    """Least-squares polynomial surface with L2 regularization.
+
+    Expands inputs to all monomials up to ``degree`` and solves the ridge
+    normal equations. ``predict(return_std=True)`` reports the training
+    residual standard deviation — a constant (aleatoric-style) estimate,
+    honest about this model family having no pointwise epistemic variance.
+    """
+
+    name = "poly"
+
+    def __init__(self, degree: int = 2, *, alpha: float = 1e-8) -> None:
+        super().__init__()
+        if degree < 1:
+            raise ValidationError("degree must be >= 1")
+        if alpha < 0:
+            raise ValidationError("alpha must be >= 0")
+        self.degree = int(degree)
+        self.alpha = float(alpha)
+        self.coef_: np.ndarray | None = None
+        self.residual_std_: float = 0.0
+        self._powers: list[tuple[int, ...]] = []
+        self._x_mean: np.ndarray | None = None
+        self._x_scale: np.ndarray | None = None
+
+    def _expand(self, X: np.ndarray) -> np.ndarray:
+        n, d = X.shape
+        columns = [np.ones(n)]
+        for deg in range(1, self.degree + 1):
+            for combo in combinations_with_replacement(range(d), deg):
+                col = np.ones(n)
+                for j in combo:
+                    col = col * X[:, j]
+                columns.append(col)
+        return np.stack(columns, axis=1)
+
+    def fit(self, X: Any, y: Any) -> "PolynomialRegressor":
+        X, y = check_fit_inputs(X, y)
+        self.n_features_ = X.shape[1]
+        self._x_mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._x_scale = scale
+        Phi = self._expand((X - self._x_mean) / self._x_scale)
+        A = Phi.T @ Phi + self.alpha * np.eye(Phi.shape[1])
+        b = Phi.T @ y
+        self.coef_ = np.linalg.solve(A, b)
+        residuals = y - Phi @ self.coef_
+        dof = max(1, len(y) - Phi.shape[1])
+        self.residual_std_ = float(np.sqrt((residuals @ residuals) / dof))
+        return self
+
+    def predict(
+        self, X: Any, return_std: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        X = self._check_predict_input(X)
+        if self.coef_ is None:
+            raise ValidationError("PolynomialRegressor is not fitted yet")
+        assert self._x_mean is not None and self._x_scale is not None
+        Phi = self._expand((X - self._x_mean) / self._x_scale)
+        mean = Phi @ self.coef_
+        if return_std:
+            return mean, np.full(len(mean), max(self.residual_std_, 1e-9))
+        return mean

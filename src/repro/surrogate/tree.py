@@ -1,0 +1,284 @@
+"""CART regression tree with exhaustive or randomized split selection.
+
+One implementation serves three estimators:
+
+- ``splitter="best"`` → classic CART (scan every threshold) — used by
+  :class:`~repro.surrogate.forest.RandomForestRegressor` and standalone.
+- ``splitter="random"`` → one uniform-random threshold per candidate
+  feature — the *extremely randomized* split rule of Extra-Trees
+  (Geurts et al. 2006), the paper's surrogate of choice.
+
+The tree is stored in parallel arrays (children, feature, threshold, value),
+which keeps prediction a tight loop and makes ``apply()`` (leaf indices,
+needed by gradient boosting's leaf re-estimation) trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Literal
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.surrogate.base import SurrogateModel, check_fit_inputs
+
+__all__ = ["DecisionTreeRegressor"]
+
+_LEAF = -1
+
+
+class DecisionTreeRegressor(SurrogateModel):
+    """Variance-reduction regression tree.
+
+    Parameters mirror the scikit-learn names where they exist:
+
+    - ``max_depth`` — maximum tree depth (``None`` = unbounded).
+    - ``min_samples_split`` — minimum samples to attempt a split.
+    - ``min_samples_leaf`` — minimum samples in each child.
+    - ``max_features`` — number of features considered per split
+      (``None`` = all, ``"sqrt"``, or an int).
+    - ``splitter`` — ``"best"`` (CART) or ``"random"`` (Extra-Trees rule).
+    """
+
+    name = "tree"
+
+    def __init__(
+        self,
+        *,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | Literal["sqrt"] | None = None,
+        splitter: Literal["best", "random"] = "best",
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if max_depth is not None and max_depth < 1:
+            raise ValidationError("max_depth must be >= 1 or None")
+        if min_samples_split < 2:
+            raise ValidationError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValidationError("min_samples_leaf must be >= 1")
+        if splitter not in ("best", "random"):
+            raise ValidationError(f"unknown splitter {splitter!r}")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.splitter = splitter
+        self._rng = (
+            random_state
+            if isinstance(random_state, np.random.Generator)
+            else np.random.default_rng(random_state)
+        )
+        # tree arrays (filled by fit)
+        self.children_left_: list[int] = []
+        self.children_right_: list[int] = []
+        self.feature_: list[int] = []
+        self.threshold_: list[float] = []
+        self.value_: list[float] = []
+        self.n_node_samples_: list[int] = []
+
+    # -- construction -------------------------------------------------------------
+
+    def fit(self, X: Any, y: Any) -> "DecisionTreeRegressor":
+        X, y = check_fit_inputs(X, y)
+        self.n_features_ = X.shape[1]
+        self.children_left_ = []
+        self.children_right_ = []
+        self.feature_ = []
+        self.threshold_ = []
+        self.value_ = []
+        self.n_node_samples_ = []
+
+        # Iterative construction with an explicit stack of (indices, depth).
+        stack: list[tuple[np.ndarray, int, int, bool]] = []
+        root = self._new_node(y, np.arange(len(y)))
+        stack.append((np.arange(len(y)), 0, root, True))
+        while stack:
+            idx, depth, node_id, _ = stack.pop()
+            split = self._find_split(X, y, idx, depth)
+            if split is None:
+                continue
+            feature, threshold, left_idx, right_idx = split
+            self.feature_[node_id] = feature
+            self.threshold_[node_id] = threshold
+            left_id = self._new_node(y, left_idx)
+            right_id = self._new_node(y, right_idx)
+            self.children_left_[node_id] = left_id
+            self.children_right_[node_id] = right_id
+            stack.append((left_idx, depth + 1, left_id, True))
+            stack.append((right_idx, depth + 1, right_id, False))
+        self._finalize()
+        return self
+
+    def _new_node(self, y: np.ndarray, idx: np.ndarray) -> int:
+        node_id = len(self.value_)
+        self.children_left_.append(_LEAF)
+        self.children_right_.append(_LEAF)
+        self.feature_.append(_LEAF)
+        self.threshold_.append(np.nan)
+        self.value_.append(float(y[idx].mean()))
+        self.n_node_samples_.append(len(idx))
+        return node_id
+
+    def _n_candidate_features(self) -> int:
+        assert self.n_features_ is not None
+        if self.max_features is None:
+            return self.n_features_
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(self.n_features_)))
+        return max(1, min(int(self.max_features), self.n_features_))
+
+    def _find_split(
+        self, X: np.ndarray, y: np.ndarray, idx: np.ndarray, depth: int
+    ) -> tuple[int, float, np.ndarray, np.ndarray] | None:
+        n = len(idx)
+        if n < self.min_samples_split or n < 2 * self.min_samples_leaf:
+            return None
+        if self.max_depth is not None and depth >= self.max_depth:
+            return None
+        y_node = y[idx]
+        if np.ptp(y_node) == 0.0:
+            return None
+
+        k = self._n_candidate_features()
+        assert self.n_features_ is not None
+        features = (
+            np.arange(self.n_features_)
+            if k >= self.n_features_
+            else self._rng.choice(self.n_features_, size=k, replace=False)
+        )
+
+        best: tuple[float, int, float] | None = None  # (sse, feature, threshold)
+        for feature in features:
+            x = X[idx, feature]
+            lo, hi = x.min(), x.max()
+            if lo == hi:
+                continue
+            if self.splitter == "random":
+                candidate = self._score_threshold(
+                    x, y_node, float(self._rng.uniform(lo, hi))
+                )
+                if candidate is not None and (best is None or candidate < best[0]):
+                    best = (candidate, int(feature), float(self._last_threshold))
+            else:
+                result = self._best_threshold(x, y_node)
+                if result is not None:
+                    sse, threshold = result
+                    if best is None or sse < best[0]:
+                        best = (sse, int(feature), threshold)
+        if best is None:
+            return None
+        _, feature, threshold = best
+        mask = X[idx, feature] <= threshold
+        left_idx = idx[mask]
+        right_idx = idx[~mask]
+        if len(left_idx) < self.min_samples_leaf or len(right_idx) < self.min_samples_leaf:
+            return None
+        return feature, threshold, left_idx, right_idx
+
+    def _best_threshold(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float] | None:
+        """Exhaustive CART scan: minimal total SSE over all thresholds."""
+        order = np.argsort(x, kind="stable")
+        xs = x[order]
+        ys = y[order]
+        n = len(xs)
+        csum = np.cumsum(ys)
+        csum2 = np.cumsum(ys * ys)
+        total_sum = csum[-1]
+        total_sq = csum2[-1]
+
+        # Valid split positions: after index i (1-based count i+1 on left),
+        # honouring min_samples_leaf and distinct x values.
+        counts = np.arange(1, n)
+        left_sum = csum[:-1]
+        left_sq = csum2[:-1]
+        right_sum = total_sum - left_sum
+        right_sq = total_sq - left_sq
+        right_counts = n - counts
+        sse = (
+            left_sq
+            - left_sum**2 / counts
+            + right_sq
+            - right_sum**2 / right_counts
+        )
+        valid = (xs[1:] != xs[:-1]) & (counts >= self.min_samples_leaf) & (
+            right_counts >= self.min_samples_leaf
+        )
+        if not valid.any():
+            return None
+        sse = np.where(valid, sse, np.inf)
+        pos = int(np.argmin(sse))
+        threshold = float(0.5 * (xs[pos] + xs[pos + 1]))
+        return float(sse[pos]), threshold
+
+    _last_threshold: float = np.nan
+
+    def _score_threshold(self, x: np.ndarray, y: np.ndarray, threshold: float) -> float | None:
+        """SSE of one explicit threshold (Extra-Trees random split)."""
+        mask = x <= threshold
+        n_left = int(mask.sum())
+        if n_left < self.min_samples_leaf or len(x) - n_left < self.min_samples_leaf:
+            return None
+        left = y[mask]
+        right = y[~mask]
+        sse = float(((left - left.mean()) ** 2).sum() + ((right - right.mean()) ** 2).sum())
+        self._last_threshold = threshold
+        return sse
+
+    def _finalize(self) -> None:
+        self._cl = np.asarray(self.children_left_, dtype=np.int64)
+        self._cr = np.asarray(self.children_right_, dtype=np.int64)
+        self._feat = np.asarray(self.feature_, dtype=np.int64)
+        self._thr = np.asarray(self.threshold_, dtype=np.float64)
+        self._val = np.asarray(self.value_, dtype=np.float64)
+
+    # -- inference ---------------------------------------------------------------
+
+    def apply(self, X: Any) -> np.ndarray:
+        """Leaf node index for each row of ``X``."""
+        X = self._check_predict_input(X)
+        node = np.zeros(len(X), dtype=np.int64)
+        active = self._cl[node] != _LEAF
+        while active.any():
+            rows = np.nonzero(active)[0]
+            nodes = node[rows]
+            go_left = X[rows, self._feat[nodes]] <= self._thr[nodes]
+            node[rows] = np.where(go_left, self._cl[nodes], self._cr[nodes])
+            active = self._cl[node] != _LEAF
+        return node
+
+    def predict(
+        self, X: Any, return_std: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        leaves = self.apply(X)
+        mean = self._val[leaves]
+        if return_std:
+            # A single tree has no ensemble spread; report zeros.
+            return mean, np.zeros_like(mean)
+        return mean
+
+    @property
+    def node_count(self) -> int:
+        return len(self.value_)
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        depths = np.zeros(self.node_count, dtype=int)
+        for node in range(self.node_count):
+            left = self.children_left_[node]
+            right = self.children_right_[node]
+            for child in (left, right):
+                if child != _LEAF:
+                    depths[child] = depths[node] + 1
+        return int(depths.max()) if self.node_count else 0
+
+    def set_leaf_values(self, leaf_values: dict[int, float]) -> None:
+        """Overwrite leaf predictions (gradient boosting leaf re-estimation)."""
+        for leaf, value in leaf_values.items():
+            if self.children_left_[leaf] != _LEAF:
+                raise ValidationError(f"node {leaf} is not a leaf")
+            self.value_[leaf] = float(value)
+        self._finalize()

@@ -1,0 +1,44 @@
+"""A Grid'5000-like testbed simulator.
+
+The paper deploys Pl@ntNet on 42 nodes of Grid'5000 (clusters *chifflot*,
+*chiclet*, *chetemi*, *chifflet* and *gros*). This subpackage provides the
+software equivalent this reproduction runs against:
+
+- :mod:`repro.testbed.hardware` — hardware specification dataclasses.
+- :mod:`repro.testbed.catalog` — a catalog mirroring the five clusters used
+  in the paper (specs approximated from the Grid'5000 reference API).
+- :mod:`repro.testbed.cluster` / :mod:`repro.testbed.site` — runtime nodes,
+  clusters, sites and the :class:`Testbed` facade with reservations.
+- :mod:`repro.testbed.network` — network topology and emulation (latency /
+  bandwidth constraints, the E2Clab "network emulation" feature).
+- :mod:`repro.testbed.deployment` — mapping services onto reserved nodes.
+"""
+
+from repro.testbed.hardware import CPUSpec, GPUSpec, NICSpec, NodeSpec
+from repro.testbed.node import Node
+from repro.testbed.cluster import Cluster
+from repro.testbed.site import Site, Testbed
+from repro.testbed.reservation import Reservation, ResourceRequest
+from repro.testbed.catalog import grid5000, CLUSTER_SPECS
+from repro.testbed.network import Link, NetworkEmulator, NetworkPath
+from repro.testbed.deployment import Deployment, Placement
+
+__all__ = [
+    "CPUSpec",
+    "GPUSpec",
+    "NICSpec",
+    "NodeSpec",
+    "Node",
+    "Cluster",
+    "Site",
+    "Testbed",
+    "Reservation",
+    "ResourceRequest",
+    "grid5000",
+    "CLUSTER_SPECS",
+    "Link",
+    "NetworkEmulator",
+    "NetworkPath",
+    "Deployment",
+    "Placement",
+]

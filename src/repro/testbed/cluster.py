@@ -1,0 +1,45 @@
+"""Homogeneous clusters of simulated nodes."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ValidationError
+from repro.testbed.hardware import NodeSpec
+from repro.testbed.node import Node
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A named, homogeneous set of nodes inside a site (e.g. ``chifflot``)."""
+
+    def __init__(self, name: str, site_name: str, spec: NodeSpec, node_count: int) -> None:
+        if node_count < 1:
+            raise ValidationError(f"cluster {name!r} needs >= 1 node, got {node_count}")
+        self.name = name
+        self.site_name = site_name
+        self.spec = spec
+        # Grid'5000 numbers nodes from 1.
+        self.nodes = [Node(self, i) for i in range(1, node_count + 1)]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes)
+
+    def __getitem__(self, index: int) -> Node:
+        return self.nodes[index]
+
+    @property
+    def has_gpu(self) -> bool:
+        return self.spec.gpu_count > 0
+
+    def free_nodes(self) -> list[Node]:
+        """Nodes not currently reserved, in index order (deterministic)."""
+        return [n for n in self.nodes if not n.reserved]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        free = len(self.free_nodes())
+        return f"<Cluster {self.name}@{self.site_name} nodes={len(self.nodes)} free={free}>"

@@ -1,0 +1,98 @@
+"""Deployments: mapping services to reserved testbed nodes.
+
+A :class:`Deployment` records which service instance landed on which node
+with which resource share — the information E2Clab captures "for
+reproducibility" in the paper's ``launch()`` step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import DeploymentError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.testbed.node import Node
+    from repro.testbed.reservation import Reservation
+
+__all__ = ["Placement", "Deployment"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One service instance bound to one node."""
+
+    service_name: str
+    node_name: str
+    cores: int
+    memory_gb: float
+    gpus: int
+    extra: tuple[tuple[str, Any], ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "service": self.service_name,
+            "node": self.node_name,
+            "cores": self.cores,
+            "memory_gb": self.memory_gb,
+            "gpus": self.gpus,
+            **dict(self.extra),
+        }
+
+
+@dataclass
+class Deployment:
+    """A set of placements against one reservation."""
+
+    reservation: "Reservation"
+    placements: list[Placement] = field(default_factory=list)
+    _nodes_by_name: dict[str, "Node"] = field(default_factory=dict)
+
+    def place(
+        self,
+        service_name: str,
+        node: "Node",
+        *,
+        cores: int = 0,
+        memory_gb: float = 0.0,
+        gpus: int = 0,
+        **extra: Any,
+    ) -> Placement:
+        """Bind a service instance to ``node``, claiming resources on it."""
+        if node.reserved_by != self.reservation.job_id:
+            raise DeploymentError(
+                f"node {node.name} is not part of reservation {self.reservation.job_id}"
+            )
+        node.allocate(cores=cores, memory_gb=memory_gb, gpus=gpus)
+        placement = Placement(
+            service_name=service_name,
+            node_name=node.name,
+            cores=cores,
+            memory_gb=memory_gb,
+            gpus=gpus,
+            extra=tuple(sorted(extra.items())),
+        )
+        self.placements.append(placement)
+        self._nodes_by_name[node.name] = node
+        return placement
+
+    def placements_of(self, service_name: str) -> list[Placement]:
+        return [p for p in self.placements if p.service_name == service_name]
+
+    def node_of(self, placement: Placement) -> "Node":
+        return self._nodes_by_name[placement.node_name]
+
+    def teardown(self) -> None:
+        """Free all claimed resources (not the reservation itself)."""
+        for placement in self.placements:
+            node = self._nodes_by_name[placement.node_name]
+            node.free(cores=placement.cores, memory_gb=placement.memory_gb, gpus=placement.gpus)
+        self.placements.clear()
+
+    def manifest(self) -> list[dict[str, Any]]:
+        """JSON-able record of the deployment (provenance capture)."""
+        return [p.to_dict() for p in self.placements]
+
+    def __len__(self) -> int:
+        return len(self.placements)

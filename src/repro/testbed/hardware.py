@@ -1,0 +1,110 @@
+"""Hardware specification records for simulated testbed nodes.
+
+These are *descriptions*, not live resources: a :class:`NodeSpec` says what a
+machine in a cluster looks like; :class:`repro.testbed.node.Node` is the
+runtime object whose resources get allocated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+__all__ = ["CPUSpec", "GPUSpec", "NICSpec", "NodeSpec"]
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A CPU package (socket) description."""
+
+    model: str
+    cores: int
+    threads_per_core: int = 1
+    base_clock_ghz: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValidationError(f"CPU cores must be >= 1, got {self.cores}")
+        if self.threads_per_core < 1:
+            raise ValidationError("threads_per_core must be >= 1")
+
+    @property
+    def logical_cores(self) -> int:
+        return self.cores * self.threads_per_core
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU accelerator description."""
+
+    model: str
+    memory_gb: float
+    max_power_w: float = 250.0
+    sm_count: int = 80
+
+    def __post_init__(self) -> None:
+        if self.memory_gb <= 0:
+            raise ValidationError("GPU memory must be positive")
+
+
+@dataclass(frozen=True)
+class NICSpec:
+    """A network interface description."""
+
+    model: str
+    rate_gbps: float
+
+    def __post_init__(self) -> None:
+        if self.rate_gbps <= 0:
+            raise ValidationError("NIC rate must be positive")
+
+    @property
+    def rate_bytes_per_s(self) -> float:
+        return self.rate_gbps * 1e9 / 8.0
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Full description of one machine model (e.g. Dell PowerEdge R740)."""
+
+    model: str
+    cpus: tuple[CPUSpec, ...]
+    memory_gb: float
+    storage_gb: float
+    nic: NICSpec
+    gpus: tuple[GPUSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.cpus:
+            raise ValidationError("a node needs at least one CPU")
+        if self.memory_gb <= 0:
+            raise ValidationError("memory must be positive")
+        if self.storage_gb <= 0:
+            raise ValidationError("storage must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        """Physical cores across sockets."""
+        return sum(cpu.cores for cpu in self.cpus)
+
+    @property
+    def total_logical_cores(self) -> int:
+        return sum(cpu.logical_cores for cpu in self.cpus)
+
+    @property
+    def gpu_count(self) -> int:
+        return len(self.gpus)
+
+    @property
+    def total_gpu_memory_gb(self) -> float:
+        return sum(g.memory_gb for g in self.gpus)
+
+    def describe(self) -> str:
+        """One-line human description (for reservation logs)."""
+        gpu = f", {self.gpu_count}x {self.gpus[0].model}" if self.gpus else ""
+        return (
+            f"{self.model}: {len(self.cpus)}x {self.cpus[0].model} "
+            f"({self.total_cores} cores), {self.memory_gb:.0f} GB RAM, "
+            f"{self.nic.rate_gbps:g} Gbps{gpu}"
+        )

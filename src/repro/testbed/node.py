@@ -1,0 +1,106 @@
+"""Runtime testbed nodes with allocatable resources."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ReservationError
+from repro.testbed.hardware import NodeSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.testbed.cluster import Cluster
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One machine instance in a cluster.
+
+    Tracks coarse-grained allocation (cores, memory, GPUs) by deployed
+    services. Fine-grained time-sharing behaviour (CPU contention between
+    threads) is modelled inside the application simulators, not here — the
+    node only guarantees that reservations do not oversubscribe hardware.
+    """
+
+    def __init__(self, cluster: "Cluster", index: int) -> None:
+        self.cluster = cluster
+        self.index = index
+        self.allocated_cores = 0
+        self.allocated_memory_gb = 0.0
+        self.allocated_gpus = 0
+        self._reserved_by: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        """Grid'5000-style node name, e.g. ``chifflot-3.lille``."""
+        return f"{self.cluster.name}-{self.index}.{self.cluster.site_name}"
+
+    @property
+    def spec(self) -> NodeSpec:
+        return self.cluster.spec
+
+    @property
+    def reserved(self) -> bool:
+        return self._reserved_by is not None
+
+    @property
+    def reserved_by(self) -> Optional[str]:
+        return self._reserved_by
+
+    def reserve(self, job_id: str) -> None:
+        if self._reserved_by is not None:
+            raise ReservationError(f"{self.name} already reserved by job {self._reserved_by}")
+        self._reserved_by = job_id
+
+    def release(self) -> None:
+        self._reserved_by = None
+        self.allocated_cores = 0
+        self.allocated_memory_gb = 0.0
+        self.allocated_gpus = 0
+
+    # -- resource allocation (used by deployments) ----------------------------
+
+    def allocate(self, cores: int = 0, memory_gb: float = 0.0, gpus: int = 0) -> None:
+        """Claim resources on this node; raises if oversubscribed."""
+        if cores < 0 or memory_gb < 0 or gpus < 0:
+            raise ValueError("allocation amounts must be non-negative")
+        if self.allocated_cores + cores > self.spec.total_logical_cores:
+            raise ReservationError(
+                f"{self.name}: requested {cores} cores but only "
+                f"{self.available_cores} of {self.spec.total_logical_cores} free"
+            )
+        if self.allocated_memory_gb + memory_gb > self.spec.memory_gb:
+            raise ReservationError(
+                f"{self.name}: requested {memory_gb} GB but only "
+                f"{self.available_memory_gb:.1f} GB free"
+            )
+        if self.allocated_gpus + gpus > self.spec.gpu_count:
+            raise ReservationError(
+                f"{self.name}: requested {gpus} GPUs but only "
+                f"{self.available_gpus} of {self.spec.gpu_count} free"
+            )
+        self.allocated_cores += cores
+        self.allocated_memory_gb += memory_gb
+        self.allocated_gpus += gpus
+
+    def free(self, cores: int = 0, memory_gb: float = 0.0, gpus: int = 0) -> None:
+        """Return previously allocated resources."""
+        self.allocated_cores = max(0, self.allocated_cores - cores)
+        self.allocated_memory_gb = max(0.0, self.allocated_memory_gb - memory_gb)
+        self.allocated_gpus = max(0, self.allocated_gpus - gpus)
+
+    @property
+    def available_cores(self) -> int:
+        return self.spec.total_logical_cores - self.allocated_cores
+
+    @property
+    def available_memory_gb(self) -> float:
+        return self.spec.memory_gb - self.allocated_memory_gb
+
+    @property
+    def available_gpus(self) -> int:
+        return self.spec.gpu_count - self.allocated_gpus
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"job={self._reserved_by}" if self.reserved else "free"
+        return f"<Node {self.name} {state}>"

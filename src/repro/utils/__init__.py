@@ -1,0 +1,29 @@
+"""Shared utilities: seeding, statistics, validation, tables, serialization."""
+
+from repro.utils.seeding import SeedSequenceFactory, spawn_rng
+from repro.utils.stats import RunningStats, Summary, mean_std, confidence_interval
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_type,
+)
+from repro.utils.reservoir import ReservoirSampler
+from repro.utils.tables import Table
+from repro.utils.timeseries import TimeSeries
+
+__all__ = [
+    "SeedSequenceFactory",
+    "spawn_rng",
+    "RunningStats",
+    "Summary",
+    "mean_std",
+    "confidence_interval",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_type",
+    "ReservoirSampler",
+    "Table",
+    "TimeSeries",
+]

@@ -1,0 +1,62 @@
+"""JSON-based serialization with numpy support, used for provenance capture.
+
+Phase III of the methodology archives the optimization definition, every
+evaluated point, and intermediate models. All of those records flow through
+:func:`to_jsonable` so archives are plain JSON — diff-able and re-loadable
+without this library.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["to_jsonable", "dump_json", "load_json"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serializable primitives.
+
+    Handles dataclasses, numpy scalars/arrays, paths, sets and mappings.
+    Objects exposing ``to_dict()`` are converted through it.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(x) for x in obj.tolist()]
+    if isinstance(obj, Path):
+        return str(obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if hasattr(obj, "to_dict") and callable(obj.to_dict):
+        return to_jsonable(obj.to_dict())
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(x) for x in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(to_jsonable(x) for x in obj)
+    raise TypeError(f"cannot serialize object of type {type(obj).__name__}")
+
+
+def dump_json(obj: Any, path: str | Path, *, indent: int = 2) -> Path:
+    """Serialize ``obj`` to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(obj), indent=indent, sort_keys=True))
+    return path
+
+
+def load_json(path: str | Path) -> Any:
+    """Load JSON from ``path``."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,60 @@
+"""Plain-text table rendering for benchmark/report output.
+
+The benchmark harness regenerates the paper's tables; :class:`Table` renders
+them in a compact ASCII format so ``pytest -s benchmarks/`` prints the same
+rows the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A small column-aligned ASCII table.
+
+    Example::
+
+        t = Table(["Thread pool", "baseline", "preliminary optimum"])
+        t.add_row(["HTTP", 40, 54])
+        print(t.render())
+    """
+
+    def __init__(self, headers: Sequence[str], *, title: str | None = None) -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        cells = [self._fmt(c) for c in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    @staticmethod
+    def _fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

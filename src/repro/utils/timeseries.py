@@ -1,0 +1,113 @@
+"""Sampled time series, the unit of monitoring data.
+
+The paper collects metric values every 10 seconds during each 23-minute run
+(138 samples per run). :class:`TimeSeries` stores ``(time, value)`` samples,
+supports windowed aggregation, resampling, and merging across repetitions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.utils.stats import Summary, mean_std
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """An append-only series of ``(time, value)`` samples."""
+
+    __slots__ = ("name", "_times", "_values")
+
+    def __init__(self, name: str = "", samples: Iterable[tuple[float, float]] = ()) -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+        for t, v in samples:
+            self.append(t, v)
+
+    def append(self, time: float, value: float) -> None:
+        """Append a sample; times must be non-decreasing."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"samples must be time-ordered: got t={time} after t={self._times[-1]}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    def summary(self) -> Summary:
+        """Mean ± std over all samples (what the paper tabulates)."""
+        return mean_std(self._values)
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Samples with ``start <= t < end`` (e.g. drop warm-up)."""
+        out = TimeSeries(self.name)
+        for t, v in self:
+            if start <= t < end:
+                out.append(t, v)
+        return out
+
+    def resample(self, interval: float) -> "TimeSeries":
+        """Average samples into ``interval``-wide buckets anchored at t=0."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        out = TimeSeries(self.name)
+        if not self._times:
+            return out
+        times = self.times
+        values = self.values
+        buckets = np.floor(times / interval).astype(int)
+        for b in np.unique(buckets):
+            mask = buckets == b
+            out.append((b + 1) * interval, float(values[mask].mean()))
+        return out
+
+    def integrate(self) -> float:
+        """Trapezoidal integral of the series over its time span."""
+        if len(self) < 2:
+            return 0.0
+        return float(np.trapezoid(self.values, self.times))
+
+    def time_average(self) -> float:
+        """Time-weighted average value (integral / span)."""
+        if len(self) < 2:
+            return float(self._values[0]) if self._values else float("nan")
+        span = self._times[-1] - self._times[0]
+        if span == 0:
+            return float(np.mean(self._values))
+        return self.integrate() / span
+
+    @staticmethod
+    def merge(series: Sequence["TimeSeries"], name: str = "") -> "TimeSeries":
+        """Concatenate repetitions into one pooled sample series.
+
+        Time stamps are offset so repetitions do not interleave; this matches
+        the paper pooling 7 × 138 samples into one 966-sample estimate.
+        """
+        out = TimeSeries(name or (series[0].name if series else ""))
+        offset = 0.0
+        for s in series:
+            for t, v in s:
+                out.append(offset + t, v)
+            if len(s):
+                offset += s.times[-1] + 1.0
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TimeSeries(name={self.name!r}, n={len(self)})"

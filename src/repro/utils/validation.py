@@ -1,0 +1,51 @@
+"""Input validation helpers raising :class:`repro.errors.ValidationError`."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ValidationError
+
+__all__ = ["check_positive", "check_in_range", "check_probability", "check_type"]
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate ``value > 0`` (or ``>= 0`` when ``strict=False``)."""
+    value = float(value)
+    if strict and value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate ``low <= value <= high`` (or strict bounds)."""
+    value = float(value)
+    ok = low <= value <= high if inclusive else low < value < high
+    if not ok:
+        brackets = "[]" if inclusive else "()"
+        raise ValidationError(
+            f"{name} must be in {brackets[0]}{low}, {high}{brackets[1]}, got {value}"
+        )
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate ``0 <= value <= 1``."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> Any:
+    """Validate ``isinstance(value, expected)``."""
+    if not isinstance(value, expected):
+        exp = expected.__name__ if isinstance(expected, type) else "/".join(t.__name__ for t in expected)
+        raise ValidationError(f"{name} must be of type {exp}, got {type(value).__name__}")
+    return value

@@ -1,0 +1,3 @@
+"""Package version, kept in sync with ``pyproject.toml``."""
+
+__version__ = "1.0.0"

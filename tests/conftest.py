@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.config import ThreadPoolConfig, WorkloadSpec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def baseline_config() -> ThreadPoolConfig:
+    return ThreadPoolConfig(http=40, download=40, extract=7, simsearch=40)
+
+
+@pytest.fixture
+def short_workload() -> WorkloadSpec:
+    """A workload short enough for unit tests but past warm-up."""
+    return WorkloadSpec(
+        simultaneous_requests=40, duration=120.0, sample_interval=10.0, warmup=30.0
+    )

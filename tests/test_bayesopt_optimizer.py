@@ -1,0 +1,160 @@
+"""Tests for acquisitions and the ask/tell Bayesian optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.bayesopt import (
+    Integer,
+    Optimizer,
+    Real,
+    Space,
+    expected_improvement,
+    lower_confidence_bound,
+    probability_of_improvement,
+)
+from repro.errors import OptimizationError, ValidationError
+
+
+class TestAcquisitions:
+    def test_ei_zero_without_hope(self):
+        mu = np.array([10.0])
+        std = np.array([1e-9])
+        assert expected_improvement(mu, std, y_best=1.0)[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_ei_positive_when_below_best(self):
+        assert expected_improvement(np.array([0.0]), np.array([0.5]), y_best=1.0)[0] > 0.5
+
+    def test_ei_grows_with_std_at_same_mean(self):
+        mu = np.array([1.0, 1.0])
+        std = np.array([0.1, 2.0])
+        ei = expected_improvement(mu, std, y_best=1.0)
+        assert ei[1] > ei[0]
+
+    def test_pi_is_probability(self):
+        pi = probability_of_improvement(np.array([0.0, 5.0]), np.array([1.0, 1.0]), y_best=1.0)
+        assert ((pi >= 0) & (pi <= 1)).all()
+        assert pi[0] > pi[1]
+
+    def test_lcb_prefers_low_mean_high_std(self):
+        acq = lower_confidence_bound(np.array([1.0, 1.0]), np.array([0.1, 1.0]), kappa=2.0)
+        assert acq[1] > acq[0]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            expected_improvement(np.zeros(3), np.zeros(2), 0.0)
+
+
+class TestOptimizer:
+    def _space(self):
+        return Space([Real(-2.0, 2.0, name="a"), Real(-2.0, 2.0, name="b")])
+
+    @staticmethod
+    def _quadratic(x):
+        return (x[0] - 0.5) ** 2 + (x[1] + 1.0) ** 2
+
+    @pytest.mark.parametrize("estimator", ["ET", "GP", "RF"])
+    def test_beats_initial_design(self, estimator):
+        opt = Optimizer(
+            self._space(),
+            base_estimator=estimator,
+            n_initial_points=8,
+            acq_func="EI",
+            random_state=0,
+            acq_n_candidates=500,
+        )
+        result = opt.run(self._quadratic, 32)
+        assert result.fun < result.best_after(8) + 1e-12
+        assert result.fun < 0.35
+
+    def test_gp_hedge_runs(self):
+        opt = Optimizer(
+            self._space(), base_estimator="ET", n_initial_points=6,
+            acq_func="gp_hedge", random_state=1, acq_n_candidates=300,
+        )
+        result = opt.run(self._quadratic, 20)
+        assert result.fun < 0.5
+        assert (opt._gains >= 0).all()
+
+    def test_initial_points_use_generator(self):
+        opt = Optimizer(
+            self._space(), n_initial_points=5, initial_point_generator="sobol", random_state=0
+        )
+        points = [opt.ask() for _ in range(5)]
+        assert len(points) == 5
+        assert len({tuple(p) for p in points}) == 5
+
+    def test_ask_tell_async_pending(self):
+        """Multiple asks before any tell must return distinct points."""
+        opt = Optimizer(self._space(), n_initial_points=3, random_state=0)
+        pending = [opt.ask() for _ in range(6)]
+        assert len({tuple(np.round(p, 9)) for p in pending}) == 6
+        for p in pending:
+            opt.tell(p, self._quadratic(p))
+        assert len(opt.yi) == 6
+        assert not opt._pending
+
+    def test_tell_rejects_nonfinite(self):
+        opt = Optimizer(self._space(), random_state=0)
+        x = opt.ask()
+        with pytest.raises(ValidationError):
+            opt.tell(x, float("nan"))
+
+    def test_result_before_tell(self):
+        opt = Optimizer(self._space())
+        with pytest.raises(OptimizationError):
+            opt.result()
+
+    def test_tell_clears_pending_for_integer_dims(self):
+        """Regression: integer decoding collapses unit coords, so tell()
+        must match pending suggestions by decoded point — stale pending
+        entries would otherwise pile up constant-liar fantasies."""
+        space = Space([Integer(0, 20, name="a")])
+        opt = Optimizer(space, base_estimator="ET", n_initial_points=4,
+                        acq_func="EI", random_state=0, acq_n_candidates=300)
+        for _ in range(12):
+            x = opt.ask()
+            opt.tell(x, float((x[0] - 13) ** 2))
+        assert not opt._pending
+        assert opt.result().fun <= 4.0
+
+    def test_integer_space_dedup(self):
+        """Tiny integer spaces: asks must not repeat forever."""
+        space = Space([Integer(0, 2, name="k")])
+        opt = Optimizer(space, n_initial_points=2, acq_func="EI", random_state=0,
+                        acq_n_candidates=50)
+        seen = []
+        for _ in range(6):
+            x = opt.ask()
+            seen.append(x[0])
+            opt.tell(x, float(x[0]))
+        assert set(seen) <= {0, 1, 2}
+
+    def test_result_tracks_history(self):
+        opt = Optimizer(self._space(), n_initial_points=4, random_state=0)
+        result = opt.run(self._quadratic, 10)
+        assert result.n_evaluations == 10
+        assert len(result.x_iters) == 10
+        assert result.fun == min(result.func_vals)
+        assert result.to_dict()["fun"] == result.fun
+
+    def test_invalid_config(self):
+        with pytest.raises(ValidationError):
+            Optimizer(self._space(), n_initial_points=0)
+        with pytest.raises(ValidationError):
+            Optimizer(self._space(), acq_func="UCB-magic")
+        with pytest.raises(ValidationError):
+            Optimizer(self._space(), lie_strategy="cl_median")
+
+    def test_callable_base_estimator(self):
+        from repro.surrogate import KNeighborsRegressor
+
+        opt = Optimizer(
+            self._space(),
+            base_estimator=lambda: KNeighborsRegressor(3),
+            n_initial_points=5,
+            acq_func="EI",
+            random_state=0,
+            acq_n_candidates=200,
+        )
+        result = opt.run(self._quadratic, 15)
+        assert result.fun < 1.0

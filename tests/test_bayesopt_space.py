@@ -1,0 +1,124 @@
+"""Tests for search-space dimensions and transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayesopt import Categorical, Integer, Real, Space
+from repro.errors import ValidationError
+
+
+class TestReal:
+    def test_roundtrip(self):
+        dim = Real(-3.0, 5.0)
+        for v in (-3.0, 0.0, 5.0, 1.234):
+            assert dim.from_unit(dim.to_unit(v)) == pytest.approx(v)
+
+    def test_log_uniform(self):
+        dim = Real(1e-3, 1e3, prior="log-uniform")
+        assert dim.from_unit(0.5) == pytest.approx(1.0)
+        assert dim.to_unit(1.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Real(2.0, 1.0)
+        with pytest.raises(ValidationError):
+            Real(-1.0, 1.0, prior="log-uniform")
+        with pytest.raises(ValidationError):
+            Real(0.0, 1.0, prior="mystery")
+
+    @given(st.floats(0.0, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_from_unit_in_bounds(self, u):
+        dim = Real(2.0, 7.0)
+        assert 2.0 <= dim.from_unit(u) <= 7.0
+
+
+class TestInteger:
+    def test_inclusive_bounds(self):
+        dim = Integer(3, 9)
+        values = {dim.from_unit(u) for u in np.linspace(0, 0.999999, 500)}
+        assert values == set(range(3, 10))
+
+    @given(st.integers(3, 9))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip(self, v):
+        dim = Integer(3, 9)
+        assert dim.from_unit(dim.to_unit(v)) == v
+
+    def test_equal_slices(self):
+        """Each integer owns an equal share of the unit interval."""
+        dim = Integer(0, 3)
+        us = np.linspace(0, 0.9999999, 40000)
+        values = np.array([dim.from_unit(u) for u in us])
+        _, counts = np.unique(values, return_counts=True)
+        assert counts.max() - counts.min() <= 2
+
+    def test_contains(self):
+        dim = Integer(1, 5)
+        assert dim.contains(3)
+        assert not dim.contains(6)
+        assert not dim.contains(2.5)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Integer(5, 3)
+
+
+class TestCategorical:
+    def test_roundtrip(self):
+        dim = Categorical(["a", "b", "c"])
+        for c in "abc":
+            assert dim.from_unit(dim.to_unit(c)) == c
+
+    def test_unknown_category(self):
+        dim = Categorical(["a", "b"])
+        with pytest.raises(ValidationError):
+            dim.to_unit("z")
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Categorical(["only-one"])
+        with pytest.raises(ValidationError):
+            Categorical(["x", "x"])
+
+
+class TestSpace:
+    def _space(self):
+        return Space([Integer(20, 60, name="http"), Real(0.0, 1.0, name="frac")])
+
+    def test_names_auto_assigned(self):
+        space = Space([Integer(0, 1), Integer(0, 1)])
+        assert space.names == ["x0", "x1"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            Space([Integer(0, 1, name="a"), Real(0, 1, name="a")])
+
+    def test_transform_roundtrip(self):
+        space = self._space()
+        points = [[40, 0.5], [20, 0.0], [60, 0.99]]
+        unit = space.transform(points)
+        back = space.inverse_transform(unit)
+        for original, restored in zip(points, back):
+            assert restored[0] == original[0]
+            assert restored[1] == pytest.approx(original[1])
+
+    def test_contains(self):
+        space = self._space()
+        assert space.contains([30, 0.5])
+        assert not space.contains([10, 0.5])
+        assert not space.contains([30])
+
+    def test_to_dict(self):
+        space = self._space()
+        assert space.to_dict([30, 0.25]) == {"http": 30, "frac": 0.25}
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValidationError):
+            self._space().transform([[1, 2, 3]])
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValidationError):
+            Space([])

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestCalibrationCommand:
+    def test_analytic_report_ok(self, capsys):
+        assert main(["calibration", "--evaluator", "analytic"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline@80" in out
+        assert "NO" not in out
+
+
+class TestScenarioCommand:
+    def test_named_config(self, capsys):
+        code = main(
+            ["scenario", "--config", "baseline", "--requests", "40", "--duration", "150"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "user_resp_time" in out
+
+    def test_explicit_config(self, capsys):
+        code = main(
+            ["scenario", "--config", "30,30,5,30", "--requests", "30", "--duration", "120"]
+        )
+        assert code == 0
+
+    def test_bad_config_string(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "--config", "1,2,3"])
+
+
+class TestOptimizeCommand:
+    def test_full_campaign_from_conf(self, tmp_path, capsys):
+        conf = {
+            "name": "cli_campaign",
+            "variables": [
+                {"name": "http", "type": "integer", "low": 20, "high": 60},
+                {"name": "download", "type": "integer", "low": 20, "high": 60},
+                {"name": "simsearch", "type": "integer", "low": 20, "high": 60},
+                {"name": "extract", "type": "integer", "low": 3, "high": 9},
+            ],
+            "objectives": [{"metric": "user_resp_time", "mode": "min"}],
+            "algorithm": {"base_estimator": "ET", "n_initial_points": 3},
+            "num_samples": 4,
+            "seed": 0,
+            "duration": 120.0,
+            "workdir": str(tmp_path / "work"),
+        }
+        conf_path = tmp_path / "conf.json"
+        conf_path.write_text(json.dumps(conf))
+        code = main(["optimize", str(conf_path), "--repeat", "1", "--duration", "120"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Optimization summary" in out
+        assert "validation over 2 runs" in out

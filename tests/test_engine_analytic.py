@@ -1,0 +1,118 @@
+"""Tests for the analytic engine model and its agreement with the DES."""
+
+import pytest
+
+from repro.engine import (
+    AnalyticEngineModel,
+    BASELINE_CONFIG,
+    EngineModelParams,
+    ThreadPoolConfig,
+    simulate_engine,
+)
+from repro.engine.calibration import PRELIMINARY_OPTIMUM, REFINED_OPTIMUM
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AnalyticEngineModel()
+
+
+class TestFixedPoint:
+    def test_converges(self, model):
+        result = model.evaluate(BASELINE_CONFIG, 80)
+        assert result.converged
+        assert result.throughput > 0
+
+    def test_littles_law_exact(self, model):
+        r = model.evaluate(BASELINE_CONFIG, 80)
+        assert r.throughput * r.user_response_time == pytest.approx(80.0)
+
+    def test_monotone_in_population(self, model):
+        values = [model.evaluate(BASELINE_CONFIG, R).user_response_time for R in (40, 80, 120, 160)]
+        assert values == sorted(values)
+
+    def test_smooth_in_http(self, model):
+        """No fixed-point jumps across the H sweep (regression guard)."""
+        values = [
+            model.evaluate(ThreadPoolConfig(h, h, 7, min(60, h)), 80).user_response_time
+            for h in range(40, 61, 2)
+        ]
+        diffs = [b - a for a, b in zip(values, values[1:])]
+        # steep near H=40 but smooth: no jumps, no oscillation
+        assert all(abs(d) < 0.1 for d in diffs), values
+        assert all(d <= 1e-9 for d in diffs), values  # monotone decreasing here
+
+    def test_underload_matches_service_time(self, model):
+        r = model.evaluate(BASELINE_CONFIG, 10)
+        assert r.user_response_time == pytest.approx(r.service_time, rel=1e-6)
+
+    def test_invalid_population(self, model):
+        with pytest.raises(ValidationError):
+            model.evaluate(BASELINE_CONFIG, 0)
+
+
+class TestPaperShape:
+    def test_preliminary_beats_baseline(self, model):
+        base = model.evaluate(BASELINE_CONFIG, 80).user_response_time
+        pre = model.evaluate(PRELIMINARY_OPTIMUM, 80).user_response_time
+        gain = 1 - pre / base
+        assert 0.03 <= gain <= 0.12  # paper: 6.9 %
+
+    def test_refined_at_least_as_good(self, model):
+        pre = model.evaluate(PRELIMINARY_OPTIMUM, 80).user_response_time
+        ref = model.evaluate(REFINED_OPTIMUM, 80).user_response_time
+        assert ref <= pre * 1.002
+
+    def test_extract_oat_minimum_at_six(self, model):
+        curve = {
+            e: model.evaluate(PRELIMINARY_OPTIMUM.replace(extract=e), 80).user_response_time
+            for e in (3, 4, 5, 6, 7, 8, 9)
+        }
+        assert min(curve, key=curve.get) in (6, 7)
+        assert curve[6] <= curve[7]
+        assert curve[5] > curve[6]
+        assert curve[9] > curve[7]
+        assert curve[3] > curve[4] > curve[5]
+
+    def test_cpu_saturates_with_large_extract_pool(self, model):
+        cpu = {
+            e: model.evaluate(PRELIMINARY_OPTIMUM.replace(extract=e), 80).cpu_usage
+            for e in (5, 7, 9)
+        }
+        assert cpu[5] < cpu[9]
+        assert cpu[9] >= 0.97
+
+
+class TestDesAgreement:
+    @pytest.mark.parametrize("config", [BASELINE_CONFIG, PRELIMINARY_OPTIMUM, REFINED_OPTIMUM])
+    def test_response_within_ten_percent(self, model, config):
+        analytic = model.evaluate(config, 80).user_response_time
+        des = simulate_engine(config, 80, duration=300.0, warmup=60.0, seed=11)
+        assert des.user_response_time.mean == pytest.approx(analytic, rel=0.10)
+
+    def test_ranking_preserved(self, model):
+        configs = [BASELINE_CONFIG, PRELIMINARY_OPTIMUM, ThreadPoolConfig(25, 25, 4, 25)]
+        analytic = [model.evaluate(c, 80).user_response_time for c in configs]
+        des = [
+            simulate_engine(c, 80, duration=250.0, warmup=50.0, seed=13).user_response_time.mean
+            for c in configs
+        ]
+        analytic_order = sorted(range(3), key=lambda i: analytic[i])
+        des_order = sorted(range(3), key=lambda i: des[i])
+        assert analytic_order == des_order
+
+
+class TestSpeed:
+    def test_analytic_much_faster_than_des(self, model):
+        import time
+
+        t0 = time.perf_counter()
+        for _ in range(20):
+            model.evaluate(BASELINE_CONFIG, 80)
+        analytic_time = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        simulate_engine(BASELINE_CONFIG, 80, duration=200.0, warmup=40.0, seed=1)
+        des_time = time.perf_counter() - t0
+        assert analytic_time / 20 < des_time / 10  # conservatively ≥10×

@@ -1,0 +1,54 @@
+"""Tests that the calibrated defaults still hit the paper's targets."""
+
+import pytest
+
+from repro.engine.calibration import (
+    CALIBRATION_TARGETS,
+    PRELIMINARY_OPTIMUM,
+    REFINED_OPTIMUM,
+    calibration_report,
+)
+
+
+class TestTargets:
+    def test_configs_match_tables(self):
+        assert PRELIMINARY_OPTIMUM.to_dict() == {
+            "http": 54,
+            "download": 54,
+            "extract": 7,
+            "simsearch": 53,
+        }
+        assert REFINED_OPTIMUM.extract == 6
+        assert REFINED_OPTIMUM.simsearch == 53  # paper keeps 53 in Table IV
+
+    def test_every_target_has_source(self):
+        for target in CALIBRATION_TARGETS:
+            assert target.source
+            assert target.paper_value > 0
+
+
+class TestAnalyticCalibration:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return calibration_report(evaluator="analytic")
+
+    def test_all_targets_within_tolerance(self, report):
+        failures = [r for r in report if not r["within_tolerance"]]
+        assert not failures, failures
+
+    def test_headline_numbers_tight(self, report):
+        by_name = {r["target"]: r for r in report}
+        # The three Table III/IV rows must be within a few percent.
+        for name in ("baseline@80", "preliminary@80", "refined@80"):
+            assert abs(by_name[name]["relative_error"]) < 0.04, by_name[name]
+
+
+class TestDesCalibration:
+    def test_des_within_tolerance(self):
+        report = calibration_report(evaluator="des", duration=300.0, seed=3)
+        failures = [r for r in report if not r["within_tolerance"]]
+        assert not failures, failures
+
+    def test_unknown_evaluator(self):
+        with pytest.raises(ValueError):
+            calibration_report(evaluator="nope")  # type: ignore[arg-type]

@@ -1,0 +1,48 @@
+"""Smoke tests: the runnable examples must stay runnable.
+
+Each example is executed in a subprocess (fresh interpreter, like a user
+would) and its headline output is checked. Only the fast examples run here;
+the full optimization walkthroughs are covered by the benchmarks.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "refined optimum" in out
+        assert "GPU mem" in out
+
+    def test_capacity_planning(self):
+        out = _run("capacity_planning.py")
+        assert "breaches the 4 s tolerance" in out
+        assert "extra days" in out
+
+    def test_pareto_plantnet(self):
+        out = _run("pareto_plantnet.py")
+        assert "Pareto front" in out
+        assert "refined optimum" in out
+
+    def test_multiobjective_continuum(self):
+        out = _run("multiobjective_continuum.py")
+        assert "Pareto front" in out
+        assert "edge" in out

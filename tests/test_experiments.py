@@ -1,0 +1,77 @@
+"""Tests for experiment archives and manifests."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments import (
+    EvaluationRecord,
+    ExperimentArchive,
+    ExperimentManifest,
+    environment_info,
+)
+
+
+class TestManifest:
+    def test_environment_captured(self):
+        info = environment_info()
+        assert "repro" in info and "numpy" in info and "python" in info
+
+    def test_to_dict(self):
+        manifest = ExperimentManifest(name="exp", seed=1, parameters={"R": 80})
+        d = manifest.to_dict()
+        assert d["name"] == "exp"
+        assert d["parameters"]["R"] == 80
+        assert d["environment"]["repro"]
+
+
+class TestArchive:
+    def test_directory_per_evaluation(self, tmp_path):
+        archive = ExperimentArchive(tmp_path, ExperimentManifest(name="exp"))
+        d1 = archive.new_evaluation_dir()
+        d2 = archive.new_evaluation_dir()
+        assert d1.name == "optimization-1"
+        assert d2.name == "optimization-2"
+        assert (tmp_path / "exp" / "manifest.json").exists()
+
+    def test_store_and_load_evaluations(self, tmp_path):
+        archive = ExperimentArchive(tmp_path, ExperimentManifest(name="exp"))
+        for i in range(3):
+            directory = archive.new_evaluation_dir()
+            record = EvaluationRecord(
+                index=i + 1,
+                configuration={"http": 40 + i},
+                metrics={"user_resp_time": 2.5 + i},
+            )
+            archive.store_evaluation(record, directory)
+        loaded = archive.load_evaluations()
+        assert [r["configuration"]["http"] for r in loaded] == [40, 41, 42]
+
+    def test_store_without_directory_uses_index(self, tmp_path):
+        archive = ExperimentArchive(tmp_path, ExperimentManifest(name="exp"))
+        archive.new_evaluation_dir()
+        archive.store_evaluation(EvaluationRecord(index=1, configuration={}))
+        assert archive.load_evaluations()[0]["index"] == 1
+
+    def test_store_missing_directory_rejected(self, tmp_path):
+        archive = ExperimentArchive(tmp_path, ExperimentManifest(name="exp"))
+        with pytest.raises(ValidationError):
+            archive.store_evaluation(EvaluationRecord(index=9, configuration={}))
+
+    def test_summary_roundtrip(self, tmp_path):
+        archive = ExperimentArchive(tmp_path, ExperimentManifest(name="exp"))
+        archive.store_summary({"best": {"http": 54}})
+        assert archive.load_summary() == {"best": {"http": 54}}
+
+    def test_reopen(self, tmp_path):
+        archive = ExperimentArchive(tmp_path, ExperimentManifest(name="exp", seed=7))
+        archive.new_evaluation_dir()
+        archive.new_evaluation_dir()
+        reopened = ExperimentArchive.open(tmp_path, "exp")
+        assert reopened.manifest.seed == 7
+        assert reopened.evaluation_count == 2
+        # the counter continues, no collision
+        assert reopened.new_evaluation_dir().name == "optimization-3"
+
+    def test_reopen_missing(self, tmp_path):
+        with pytest.raises(ValidationError):
+            ExperimentArchive.open(tmp_path, "ghost")

@@ -1,0 +1,108 @@
+"""End-to-end integration tests across the full stack.
+
+These reproduce miniature versions of the paper's experiments so the whole
+pipeline (testbed → services → engine DES → search → Phase III summary) is
+exercised together. Durations are short; the benchmark harness runs the
+full-scale versions.
+"""
+
+import pytest
+
+from repro.monitoring import aggregate_runs
+from repro.plantnet import (
+    BASELINE,
+    PRELIMINARY_OPTIMUM,
+    REFINED_OPTIMUM,
+    PlantNetScenario,
+)
+from repro.sensitivity import OATAnalysis, ParameterSweep
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return PlantNetScenario(duration=300.0, warmup=60.0, repetitions=2, base_seed=42)
+
+
+@pytest.fixture(scope="module")
+def three_configs(scenario):
+    return {
+        name: scenario.run(config, 80)
+        for name, config in (
+            ("baseline", BASELINE),
+            ("preliminary", PRELIMINARY_OPTIMUM),
+            ("refined", REFINED_OPTIMUM),
+        )
+    }
+
+
+class TestTableIVShape:
+    def test_ordering(self, three_configs):
+        base = three_configs["baseline"].user_response_time.mean
+        pre = three_configs["preliminary"].user_response_time.mean
+        ref = three_configs["refined"].user_response_time.mean
+        assert pre < base
+        assert ref <= pre * 1.01  # refined at least matches preliminary
+
+    def test_gain_magnitude(self, three_configs):
+        base = three_configs["baseline"].user_response_time.mean
+        pre = three_configs["preliminary"].user_response_time.mean
+        gain = 1 - pre / base
+        assert 0.02 <= gain <= 0.15  # paper: 6.9 %
+
+    def test_gpu_memory_reduction(self, three_configs):
+        base_mem = three_configs["baseline"].aggregate.gpu_memory_gb
+        ref_mem = three_configs["refined"].aggregate.gpu_memory_gb
+        assert 1 - ref_mem / base_mem == pytest.approx(0.30, abs=0.05)
+
+
+class TestWorkloadScaling:
+    def test_baseline_hits_tolerance_near_120(self, scenario):
+        """Fig. 3: ~4 s response at 120 simultaneous requests."""
+        result = scenario.run(BASELINE, 120, repetitions=1)
+        assert result.user_response_time.mean == pytest.approx(3.86, rel=0.12)
+
+    def test_preliminary_wins_at_every_workload(self, scenario):
+        for requests in (80, 120):
+            base = scenario.run(BASELINE, requests, repetitions=1)
+            pre = scenario.run(PRELIMINARY_OPTIMUM, requests, repetitions=1)
+            assert pre.user_response_time.mean < base.user_response_time.mean, requests
+
+
+class TestOATRefinement:
+    def test_extract_oat_recovers_refined_optimum(self, scenario):
+        """The Sec. IV-C workflow: OAT around the preliminary optimum must
+        point at extract=6 (the paper's refined optimum)."""
+        analysis = OATAnalysis(
+            lambda cfg: scenario.evaluate(cfg, 80, seed=7, repetitions=1),
+            PRELIMINARY_OPTIMUM.to_dict(),
+        )
+        result = analysis.run([ParameterSweep.around("extract", 7, 2, minimum=3)])
+        best_extract, _ = result.best("extract", "user_resp_time")
+        assert best_extract in (6, 7)
+        curve = dict(result.metric_curve("extract", "user_resp_time"))
+        assert curve[5] > curve[6]
+        assert curve[9] > curve[7]
+
+    def test_cpu_saturates_at_large_extract(self, scenario):
+        analysis = OATAnalysis(
+            lambda cfg: scenario.evaluate(cfg, 80, seed=7, repetitions=1),
+            PRELIMINARY_OPTIMUM.to_dict(),
+        )
+        result = analysis.run([ParameterSweep("extract", (5, 9))])
+        curve = dict(result.metric_curve("extract", "cpu_usage"))
+        assert curve[9] > curve[5]
+        assert curve[9] > 0.95
+
+
+class TestRepeatability:
+    def test_seven_repetition_protocol(self):
+        """The paper's variance-reduction protocol shrinks the std error."""
+        scenario = PlantNetScenario(duration=200.0, warmup=40.0, base_seed=5)
+        runs = [scenario.run(BASELINE, 80, repetitions=1, seed=s) for s in range(7)]
+        singles = [r.user_response_time.mean for r in runs]
+        pooled = aggregate_runs([run.runs[0] for run in runs])
+        spread = max(singles) - min(singles)
+        assert pooled.user_response_time.count == sum(
+            len(r.runs[0].series.user_response_time) for r in runs
+        )
+        assert spread < 0.2  # repetitions agree within a tight band

@@ -1,0 +1,96 @@
+"""Tests for GA / DE / SA / PSO."""
+
+import pytest
+
+from repro.bayesopt import Integer, Real
+from repro.errors import ValidationError
+from repro.metaheuristics import (
+    DifferentialEvolution,
+    GeneticAlgorithm,
+    ParticleSwarm,
+    SimulatedAnnealing,
+)
+
+ALL = [
+    GeneticAlgorithm(seed=0),
+    DifferentialEvolution(seed=0),
+    SimulatedAnnealing(seed=0),
+    ParticleSwarm(seed=0),
+]
+
+
+def _sphere(x):
+    return sum((v - 0.3) ** 2 for v in x[:2]) + abs(x[2] - 4) * 0.2
+
+
+DIMS = [Real(-2, 2, name="a"), Real(-2, 2, name="b"), Integer(0, 10, name="k")]
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("algo", ALL, ids=lambda a: type(a).__name__)
+    def test_finds_near_optimum(self, algo):
+        result = algo.minimize(_sphere, DIMS, n_iterations=60)
+        assert result.fun < 0.2
+        assert result.x[2] == 4
+
+    @pytest.mark.parametrize("algo", ALL, ids=lambda a: type(a).__name__)
+    def test_history_monotone_nonincreasing(self, algo):
+        result = algo.minimize(_sphere, DIMS, n_iterations=30)
+        assert all(b <= a + 1e-12 for a, b in zip(result.history, result.history[1:]))
+        assert result.history[-1] == pytest.approx(result.fun, abs=1e-9)
+
+    @pytest.mark.parametrize("algo", ALL, ids=lambda a: type(a).__name__)
+    def test_result_point_in_space(self, algo):
+        result = algo.minimize(_sphere, DIMS, n_iterations=10)
+        a, b, k = result.x
+        assert -2 <= a <= 2 and -2 <= b <= 2
+        assert isinstance(k, int) and 0 <= k <= 10
+
+    def test_deterministic_with_seed(self):
+        a = GeneticAlgorithm(seed=9).minimize(_sphere, DIMS, n_iterations=15)
+        b = GeneticAlgorithm(seed=9).minimize(_sphere, DIMS, n_iterations=15)
+        assert a.fun == b.fun and a.x == b.x
+
+    def test_memoization_counts_unique_points(self):
+        calls = []
+
+        def counting(x):
+            calls.append(tuple(x))
+            return _sphere(x)
+
+        result = DifferentialEvolution(seed=0, population_size=10).minimize(
+            counting, DIMS, n_iterations=10
+        )
+        assert result.n_evaluations == len(set(calls))
+
+
+class TestValidation:
+    def test_iterations_validated(self):
+        with pytest.raises(ValidationError):
+            GeneticAlgorithm(seed=0).minimize(_sphere, DIMS, n_iterations=0)
+
+    def test_ga_params(self):
+        with pytest.raises(ValidationError):
+            GeneticAlgorithm(population_size=2)
+        with pytest.raises(ValidationError):
+            GeneticAlgorithm(tournament_size=1)
+        with pytest.raises(ValidationError):
+            GeneticAlgorithm(crossover_rate=1.5)
+
+    def test_de_params(self):
+        with pytest.raises(ValidationError):
+            DifferentialEvolution(population_size=3)
+        with pytest.raises(ValidationError):
+            DifferentialEvolution(differential_weight=0.0)
+
+    def test_sa_params(self):
+        with pytest.raises(ValidationError):
+            SimulatedAnnealing(initial_temperature=0.0)
+        with pytest.raises(ValidationError):
+            SimulatedAnnealing(cooling_rate=1.0)
+
+    def test_pso_params(self):
+        with pytest.raises(ValidationError):
+            ParticleSwarm(swarm_size=1)
+        with pytest.raises(ValidationError):
+            ParticleSwarm(velocity_max=0.0)

@@ -1,0 +1,87 @@
+"""Tests for the monitoring collector and repetition aggregation."""
+
+import pytest
+
+from repro import simcore
+from repro.engine import BASELINE_CONFIG, simulate_engine
+from repro.errors import ValidationError
+from repro.monitoring import MetricCollector, aggregate_runs
+
+
+class TestMetricCollector:
+    def test_samples_probes(self):
+        env = simcore.Environment()
+        pool = simcore.Resource(env, capacity=2, name="workers")
+
+        def busy(env, pool):
+            with pool.request() as req:
+                yield req
+                yield env.timeout(100.0)
+
+        env.process(busy(env, pool))
+        collector = MetricCollector(env, interval=10.0)
+        collector.add_probe("occupancy", pool.occupancy)
+        collector.start()
+        env.run(until=50.0)
+        series = collector.series["occupancy"]
+        assert len(series) == 4  # t=10..40 (stop event fires before t=50 tick)
+        assert series.values[-1] == pytest.approx(0.5)
+
+    def test_probe_after_start_rejected(self):
+        env = simcore.Environment()
+        collector = MetricCollector(env, interval=1.0)
+        collector.start()
+        with pytest.raises(ValidationError):
+            collector.add_probe("x", lambda: 0.0)
+
+    def test_duplicate_probe_rejected(self):
+        env = simcore.Environment()
+        collector = MetricCollector(env, interval=1.0)
+        collector.add_probe("x", lambda: 0.0)
+        with pytest.raises(ValidationError):
+            collector.add_probe("x", lambda: 1.0)
+
+    def test_stop(self):
+        env = simcore.Environment()
+        collector = MetricCollector(env, interval=1.0)
+        collector.add_probe("x", lambda: 1.0)
+        collector.start()
+        env.run(until=3.5)
+        collector.stop()
+        env.run(until=10.0)
+        assert len(collector.series["x"]) == 3
+
+
+class TestAggregateRuns:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return [
+            simulate_engine(BASELINE_CONFIG, 40, duration=150.0, warmup=30.0, seed=s)
+            for s in (1, 2, 3)
+        ]
+
+    def test_pools_all_samples(self, runs):
+        agg = aggregate_runs(runs)
+        expected = sum(len(r.series.user_response_time) for r in runs)
+        assert agg.user_response_time.count == expected
+        assert agg.repetitions == 3
+
+    def test_mean_between_run_extremes(self, runs):
+        agg = aggregate_runs(runs)
+        means = [r.user_response_time.mean for r in runs]
+        assert min(means) <= agg.user_response_time.mean <= max(means)
+
+    def test_task_times_present(self, runs):
+        agg = aggregate_runs(runs)
+        assert agg.task_times["simsearch"].mean > 0
+
+    def test_rejects_mixed_configs(self, runs):
+        other = simulate_engine(
+            BASELINE_CONFIG.replace(extract=6), 40, duration=150.0, warmup=30.0, seed=4
+        )
+        with pytest.raises(ValidationError):
+            aggregate_runs([runs[0], other])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            aggregate_runs([])

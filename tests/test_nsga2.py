@@ -1,0 +1,107 @@
+"""Tests for NSGA-II."""
+
+import numpy as np
+import pytest
+
+from repro.bayesopt import Integer, Real
+from repro.errors import ValidationError
+from repro.metaheuristics import NSGA2
+from repro.metaheuristics.nsga2 import crowding_distance, fast_non_dominated_sort
+
+
+class TestSorting:
+    def test_fronts_ordered(self):
+        values = np.array(
+            [
+                [1.0, 1.0],  # front 0
+                [2.0, 2.0],  # front 1 (dominated by 0)
+                [0.5, 3.0],  # front 0 (trade-off)
+                [3.0, 3.0],  # front 2
+            ]
+        )
+        fronts = fast_non_dominated_sort(values)
+        assert sorted(fronts[0].tolist()) == [0, 2]
+        assert fronts[1].tolist() == [1]
+        assert fronts[2].tolist() == [3]
+
+    def test_all_nondominated(self):
+        values = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        fronts = fast_non_dominated_sort(values)
+        assert len(fronts) == 1
+        assert len(fronts[0]) == 4
+
+    def test_crowding_extremes_infinite(self):
+        values = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        crowding = crowding_distance(values)
+        assert crowding[0] == np.inf and crowding[-1] == np.inf
+        assert np.isfinite(crowding[1]) and np.isfinite(crowding[2])
+
+    def test_crowding_small_front(self):
+        assert (crowding_distance(np.array([[1.0, 2.0]])) == np.inf).all()
+
+
+class TestNSGA2:
+    @staticmethod
+    def _zdt1(x):
+        f1 = x[0]
+        g = 1 + 9 * sum(x[1:]) / (len(x) - 1)
+        return (f1, g * (1 - np.sqrt(f1 / g)))
+
+    def test_converges_to_zdt1_front(self):
+        dims = [Real(0, 1, name=f"x{i}") for i in range(5)]
+        front = NSGA2(population_size=40, seed=0).minimize_multi(
+            self._zdt1, dims, n_iterations=50
+        )
+        values = np.array(front.values)
+        # true front: f2 = 1 − sqrt(f1)
+        error = np.abs(values[:, 1] - (1 - np.sqrt(values[:, 0])))
+        assert np.median(error) < 0.05
+        assert len(front) >= 10  # a spread-out front, not a single point
+
+    def test_front_mutually_nondominated(self):
+        dims = [Real(0, 1, name=f"x{i}") for i in range(3)]
+        front = NSGA2(population_size=20, seed=1).minimize_multi(
+            self._zdt1, dims, n_iterations=20
+        )
+        values = np.array(front.values)
+        for i in range(len(values)):
+            for j in range(len(values)):
+                if i != j:
+                    assert not (
+                        (values[i] <= values[j]).all() and (values[i] < values[j]).any()
+                    )
+
+    def test_best_for(self):
+        dims = [Real(0, 1, name=f"x{i}") for i in range(3)]
+        front = NSGA2(population_size=20, seed=2).minimize_multi(
+            self._zdt1, dims, n_iterations=20
+        )
+        point0, values0 = front.best_for(0)
+        assert values0[0] == min(v[0] for v in front.values)
+
+    def test_single_objective_facade(self):
+        result = NSGA2(population_size=20, seed=0).minimize(
+            lambda x: (x[0] - 0.3) ** 2 + (x[1] - 7) ** 2 * 0.01,
+            [Real(0, 1, name="a"), Integer(0, 10, name="k")],
+            n_iterations=25,
+        )
+        assert result.fun < 0.01
+        assert result.x[1] == 7
+
+    def test_deterministic(self):
+        dims = [Real(0, 1, name=f"x{i}") for i in range(3)]
+        a = NSGA2(population_size=12, seed=5).minimize_multi(self._zdt1, dims, n_iterations=10)
+        b = NSGA2(population_size=12, seed=5).minimize_multi(self._zdt1, dims, n_iterations=10)
+        assert a.values == b.values
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            NSGA2(population_size=3)
+        with pytest.raises(ValidationError):
+            NSGA2(population_size=5)  # odd
+        with pytest.raises(ValidationError):
+            NSGA2(crossover_rate=2.0)
+        with pytest.raises(ValidationError):
+            NSGA2(population_size=8, seed=0).minimize_multi(
+                lambda x: (), [Real(0, 1)], n_iterations=1
+            )

@@ -1,0 +1,141 @@
+"""Tests for Phase I: OptimizationProblem, objectives, constraints."""
+
+import pytest
+
+from repro.bayesopt import Integer, Real, Space
+from repro.errors import ValidationError
+from repro.optimizer import MetricConstraint, Objective, OptimizationProblem
+
+
+def _space():
+    return Space([Integer(0, 10, name="k"), Real(0, 1, name="f")])
+
+
+class TestObjective:
+    def test_signed(self):
+        assert Objective("m", "min").signed(2.0) == 2.0
+        assert Objective("m", "max").signed(2.0) == -2.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Objective("m", "up")
+        with pytest.raises(ValidationError):
+            Objective("m", weight=0)
+
+
+class TestMetricConstraint:
+    def test_le(self):
+        c = MetricConstraint("resp", 4.0, "<=")
+        assert c.satisfied(3.9)
+        assert not c.satisfied(4.1)
+        assert c.violation(5.0) == pytest.approx(1.0)
+
+    def test_ge(self):
+        c = MetricConstraint("throughput", 30.0, ">=")
+        assert c.satisfied(31.0)
+        assert c.violation(25.0) == pytest.approx(5.0)
+
+    def test_str(self):
+        assert str(MetricConstraint("resp", 4.0)) == "resp <= 4.0"
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            MetricConstraint("m", 1.0, "==")
+
+
+class TestSingleObjective:
+    def test_scalarize_passthrough(self):
+        problem = OptimizationProblem(_space(), Objective("resp", "min"))
+        assert problem.scalarize({"resp": 2.5}) == 2.5
+        assert problem.is_single_objective
+        assert problem.primary_metric == "resp"
+
+    def test_missing_metric(self):
+        problem = OptimizationProblem(_space(), Objective("resp"))
+        with pytest.raises(ValidationError, match="no metric"):
+            problem.scalarize({"other": 1.0})
+
+    def test_constraint_penalty_monotone_in_violation(self):
+        problem = OptimizationProblem(
+            _space(),
+            Objective("resp"),
+            constraints=[MetricConstraint("resp", 4.0)],
+        )
+        ok = problem.scalarize({"resp": 3.9})
+        bad = problem.scalarize({"resp": 4.5})
+        worse = problem.scalarize({"resp": 6.0})
+        assert ok < bad < worse
+        assert bad > 100  # penalty dominates
+
+    def test_feasible(self):
+        problem = OptimizationProblem(
+            _space(), Objective("resp"), constraints=[MetricConstraint("cpu", 1.0)]
+        )
+        assert problem.feasible({"resp": 1, "cpu": 0.9})
+        assert not problem.feasible({"resp": 1, "cpu": 1.1})
+
+
+class TestMultiObjective:
+    def _problem(self):
+        return OptimizationProblem(
+            _space(),
+            [Objective("latency", "min", weight=1.0), Objective("throughput", "max", weight=0.1)],
+        )
+
+    def test_scalarize_weighted(self):
+        problem = self._problem()
+        value = problem.scalarize({"latency": 2.0, "throughput": 30.0})
+        assert value == pytest.approx(2.0 - 3.0)
+
+    def test_dominates(self):
+        problem = self._problem()
+        a = {"latency": 1.0, "throughput": 30.0}
+        b = {"latency": 2.0, "throughput": 20.0}
+        c = {"latency": 0.5, "throughput": 10.0}
+        assert problem.dominates(a, b)
+        assert not problem.dominates(b, a)
+        assert not problem.dominates(a, c) and not problem.dominates(c, a)
+
+    def test_pareto_front(self):
+        problem = self._problem()
+        evals = [
+            {"latency": 1.0, "throughput": 30.0},  # non-dominated
+            {"latency": 2.0, "throughput": 20.0},  # dominated by 0
+            {"latency": 0.5, "throughput": 10.0},  # non-dominated
+            {"latency": 1.0, "throughput": 29.0},  # dominated by 0
+        ]
+        assert problem.pareto_front(evals) == [0, 2]
+
+    def test_pareto_front_excludes_infeasible(self):
+        problem = OptimizationProblem(
+            _space(),
+            [Objective("latency", "min"), Objective("throughput", "max")],
+            constraints=[MetricConstraint("cpu", 0.9)],
+        )
+        evals = [
+            {"latency": 0.1, "throughput": 99.0, "cpu": 0.99},  # infeasible
+            {"latency": 1.0, "throughput": 30.0, "cpu": 0.5},
+        ]
+        assert problem.pareto_front(evals) == [1]
+
+    def test_duplicate_metrics_rejected(self):
+        with pytest.raises(ValidationError):
+            OptimizationProblem(_space(), [Objective("m"), Objective("m")])
+
+
+class TestDescribe:
+    def test_describe_contains_bounds(self):
+        problem = OptimizationProblem(
+            _space(), Objective("resp"), constraints=[MetricConstraint("resp", 4.0)]
+        )
+        desc = problem.describe()
+        names = [v["name"] for v in desc["variables"]]
+        assert names == ["k", "f"]
+        assert desc["variables"][0]["low"] == 0
+        assert desc["constraints"] == ["resp <= 4.0"]
+
+    def test_best_index(self):
+        problem = OptimizationProblem(_space(), Objective("resp"))
+        assert problem.best_index([3.0, 1.0, 2.0]) == 1
+        with pytest.raises(ValidationError):
+            problem.best_index([])

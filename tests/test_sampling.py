@@ -1,0 +1,123 @@
+"""Tests for the initial-design samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.sampling import (
+    GridSampler,
+    HaltonSampler,
+    LatinHypercubeSampler,
+    RandomSampler,
+    SobolSampler,
+    get_sampler,
+)
+from repro.sampling.halton import first_primes, van_der_corput
+
+ALL_SAMPLERS = ["random", "lhs", "halton", "sobol", "grid"]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("name", ALL_SAMPLERS)
+    @given(n=st.integers(1, 40), d=st.integers(1, 6), seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_shape_and_bounds(self, name, n, d, seed):
+        sampler = get_sampler(name)
+        pts = sampler.generate(n, d, np.random.default_rng(seed))
+        assert pts.shape == (n, d)
+        assert (pts >= 0.0).all() and (pts < 1.0).all()
+
+    @pytest.mark.parametrize("name", ALL_SAMPLERS)
+    def test_invalid_args(self, name):
+        sampler = get_sampler(name)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            sampler.generate(0, 2, rng)
+        with pytest.raises(ValidationError):
+            sampler.generate(2, 0, rng)
+
+    def test_unknown_sampler(self):
+        with pytest.raises(ValidationError):
+            get_sampler("quasi-magic")
+
+
+class TestLHS:
+    def test_stratification(self):
+        """Exactly one point per 1/n stratum in every dimension."""
+        n = 20
+        pts = LatinHypercubeSampler().generate(n, 3, np.random.default_rng(0))
+        for d in range(3):
+            strata = np.floor(pts[:, d] * n).astype(int)
+            assert sorted(strata) == list(range(n))
+
+    def test_centered_variant(self):
+        n = 10
+        pts = LatinHypercubeSampler(centered=True).generate(n, 2, np.random.default_rng(0))
+        fractional = (pts * n) % 1.0
+        assert np.allclose(fractional, 0.5)
+
+
+class TestHalton:
+    def test_first_primes(self):
+        assert first_primes(6) == [2, 3, 5, 7, 11, 13]
+
+    def test_van_der_corput_base2(self):
+        seq = van_der_corput(4, 2)
+        assert np.allclose(seq, [0.5, 0.25, 0.75, 0.125])
+
+    def test_base_validated(self):
+        with pytest.raises(ValidationError):
+            van_der_corput(4, 1)
+
+    def test_unscrambled_deterministic(self):
+        a = HaltonSampler(scramble=False).generate(16, 2, np.random.default_rng(0))
+        b = HaltonSampler(scramble=False).generate(16, 2, np.random.default_rng(99))
+        assert np.array_equal(a, b)
+
+
+class TestSobol:
+    def test_canonical_first_points(self):
+        pts = SobolSampler(scramble=False).generate(4, 2, np.random.default_rng(0))
+        assert np.allclose(pts[:, 0], [0.0, 0.5, 0.75, 0.25])
+        assert np.allclose(pts[:, 1], [0.0, 0.5, 0.25, 0.75])
+
+    def test_dimension_limit(self):
+        with pytest.raises(ValidationError):
+            SobolSampler().generate(4, 17, np.random.default_rng(0))
+
+    def test_scramble_changes_points_preserves_gaps(self):
+        plain = SobolSampler(scramble=False).generate(64, 3, np.random.default_rng(0))
+        scrambled = SobolSampler(scramble=True).generate(64, 3, np.random.default_rng(0))
+        assert not np.allclose(plain, scrambled)
+
+    def test_low_discrepancy_beats_random(self):
+        """Sobol fills [0,1]^2 more evenly than i.i.d. uniform (L2 star
+        discrepancy proxy: max empty-box deviation on a grid)."""
+
+        def grid_deviation(pts):
+            worst = 0.0
+            for gx in np.linspace(0.2, 1.0, 5):
+                for gy in np.linspace(0.2, 1.0, 5):
+                    frac = np.mean((pts[:, 0] < gx) & (pts[:, 1] < gy))
+                    worst = max(worst, abs(frac - gx * gy))
+            return worst
+
+        rng = np.random.default_rng(3)
+        sobol = SobolSampler(scramble=False).generate(256, 2, rng)
+        random = RandomSampler().generate(256, 2, np.random.default_rng(3))
+        assert grid_deviation(sobol) < grid_deviation(random)
+
+
+class TestGrid:
+    def test_exact_factorial_when_possible(self):
+        pts = GridSampler().generate(9, 2, np.random.default_rng(0))
+        assert pts.shape == (9, 2)
+        # 3 levels per dimension at stratum centres
+        levels = np.unique(np.round(pts[:, 0], 6))
+        assert len(levels) == 3
+
+    def test_truncates_to_requested(self):
+        pts = GridSampler().generate(7, 2, np.random.default_rng(0))
+        assert pts.shape == (7, 2)

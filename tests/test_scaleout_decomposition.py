@@ -1,0 +1,155 @@
+"""Tests for engine scale-out and decomposed optimization."""
+
+import pytest
+
+from repro.engine import AnalyticEngineModel, ThreadPoolConfig
+from repro.errors import OptimizationError, ValidationError
+from repro.optimizer import DecomposedOptimization
+from repro.plantnet import BASELINE, REFINED_OPTIMUM, ScaleOutScenario, paper_problem
+
+
+class TestScaleOut:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return ScaleOutScenario(duration=220.0, warmup=40.0, base_seed=3)
+
+    def test_one_replica_matches_plain_engine(self, scenario):
+        result = scenario.run(BASELINE, 80, replicas=1)
+        assert result.replicas == 1
+        assert result.user_response_time.mean == pytest.approx(2.57, rel=0.05)
+
+    def test_two_replicas_halve_load(self, scenario):
+        one = scenario.run(BASELINE, 160, replicas=1)
+        two = scenario.run(BASELINE, 160, replicas=2)
+        assert two.user_response_time.mean < one.user_response_time.mean * 0.6
+        assert two.total_throughput > one.total_throughput * 1.5
+
+    def test_gpu_memory_scales_with_replicas(self, scenario):
+        result = scenario.run(REFINED_OPTIMUM, 160, replicas=2)
+        assert result.total_gpu_memory_gb == pytest.approx(
+            2 * result.gpu_memory_gb_per_node
+        )
+
+    def test_uneven_split(self, scenario):
+        result = scenario.run(BASELINE, 85, replicas=2)
+        populations = [r.workload.simultaneous_requests for r in result.per_replica]
+        assert sorted(populations) == [42, 43]
+
+    def test_replicas_needed(self, scenario):
+        needed, result = scenario.replicas_needed(REFINED_OPTIMUM, 250, tolerance_s=4.0)
+        assert result.meets_tolerance(4.0)
+        if needed > 1:
+            worse = scenario.run(REFINED_OPTIMUM, 250, replicas=needed - 1)
+            assert not worse.meets_tolerance(4.0)
+
+    def test_validation(self, scenario):
+        with pytest.raises(ValidationError):
+            scenario.run(BASELINE, 80, replicas=0)
+        with pytest.raises(ValidationError):
+            scenario.run(BASELINE, 80, replicas=99)
+        with pytest.raises(ValidationError):
+            scenario.run(BASELINE, 1, replicas=2)
+
+    def test_impossible_tolerance_raises(self, scenario):
+        with pytest.raises(ValidationError, match="cannot serve"):
+            scenario.replicas_needed(BASELINE, 3000, tolerance_s=1.0)
+
+
+class TestDecomposedOptimization:
+    @staticmethod
+    def _evaluator():
+        model = AnalyticEngineModel()
+
+        def evaluate(config):
+            return {
+                "user_resp_time": model.response_time(
+                    ThreadPoolConfig(
+                        http=config["http"],
+                        download=config["download"],
+                        extract=config["extract"],
+                        simsearch=config["simsearch"],
+                    ),
+                    80,
+                )
+            }
+
+        return evaluate
+
+    def test_partition_enforced(self):
+        with pytest.raises(ValidationError, match="partition"):
+            DecomposedOptimization(
+                paper_problem(),
+                self._evaluator(),
+                groups={"a": ["http"], "b": ["extract"]},  # misses two dims
+            )
+        with pytest.raises(ValidationError, match="partition"):
+            DecomposedOptimization(
+                paper_problem(),
+                self._evaluator(),
+                groups={
+                    "a": ["http", "download", "simsearch", "extract"],
+                    "b": ["http"],  # duplicated
+                },
+            )
+
+    def test_improves_over_midpoint(self):
+        problem = paper_problem()
+        evaluator = self._evaluator()
+        decomposed = DecomposedOptimization(
+            problem,
+            evaluator,
+            groups={"admission": ["http", "download"], "compute": ["extract", "simsearch"]},
+            seed=0,
+        )
+        result = decomposed.run(rounds=2, budget_per_block=8)
+        midpoint = {dim.name: dim.from_unit(0.5) for dim in problem.space}
+        midpoint_value = problem.scalarize(evaluator(midpoint))
+        assert result.best_value < midpoint_value
+        assert result.n_evaluations == 2 * 2 * 8
+        assert result.best_value < 2.55  # reaches the good basin
+
+    def test_block_history_monotone(self):
+        result = DecomposedOptimization(
+            paper_problem(),
+            self._evaluator(),
+            groups={"g1": ["http", "download"], "g2": ["extract", "simsearch"]},
+            seed=1,
+        ).run(rounds=2, budget_per_block=6)
+        values = [value for _, _, value in result.block_history]
+        assert values == sorted(values, reverse=True)
+
+    def test_initial_configuration_respected(self):
+        captured = []
+        evaluator = self._evaluator()
+
+        def spy(config):
+            captured.append(dict(config))
+            return evaluator(config)
+
+        DecomposedOptimization(
+            paper_problem(),
+            spy,
+            groups={"g1": ["http"], "g2": ["download", "extract", "simsearch"]},
+            seed=0,
+        ).run(
+            rounds=1,
+            budget_per_block=3,
+            initial_configuration={"http": 40, "download": 40, "extract": 7, "simsearch": 40},
+        )
+        # the first block varies only http; everything else is pinned
+        for config in captured[:3]:
+            assert config["download"] == 40
+            assert config["extract"] == 7
+
+    def test_validation(self):
+        dec = DecomposedOptimization(
+            paper_problem(),
+            self._evaluator(),
+            groups={"all": ["http", "download", "extract", "simsearch"]},
+        )
+        with pytest.raises(ValidationError):
+            dec.run(rounds=0)
+        with pytest.raises(ValidationError):
+            dec.run(budget_per_block=1)
+        with pytest.raises(ValidationError):
+            dec.run(initial_configuration={"http": 40})

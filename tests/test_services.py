@@ -1,0 +1,137 @@
+"""Tests for the Services abstraction and scenario deployment."""
+
+import pytest
+
+from repro.errors import DeploymentError, ValidationError
+from repro.services import (
+    Layer,
+    LayerMapping,
+    ScenarioDefinition,
+    Service,
+    ServiceContext,
+    ServiceRegistry,
+)
+from repro.testbed import grid5000
+
+
+class EchoService(Service):
+    """Minimal service for tests: claims one core per node."""
+
+    name = "echo"
+
+    def deploy(self, context: ServiceContext) -> None:
+        for node in context.nodes:
+            context.deployment.place(self.name, node, cores=1)
+        self.payload = context.option("payload", "none")
+
+
+class TestRegistry:
+    def test_register_and_create(self):
+        registry = ServiceRegistry()
+        registry.register(EchoService)
+        assert "echo" in registry
+        service = registry.create("echo")
+        assert isinstance(service, EchoService)
+
+    def test_unknown_service(self):
+        registry = ServiceRegistry()
+        with pytest.raises(ValidationError, match="unknown service"):
+            registry.resolve("ghost")
+
+    def test_conflicting_name_rejected(self):
+        registry = ServiceRegistry()
+        registry.register(EchoService)
+
+        class Other(Service):
+            name = "echo"
+
+            def deploy(self, context):  # pragma: no cover
+                pass
+
+        with pytest.raises(ValidationError, match="already registered"):
+            registry.register(Other)
+
+    def test_non_service_rejected(self):
+        registry = ServiceRegistry()
+        with pytest.raises(ValidationError):
+            registry.register(int)  # type: ignore[arg-type]
+
+    def test_default_name_from_class(self):
+        class MyCoolThing(Service):
+            def deploy(self, context):  # pragma: no cover
+                pass
+
+        assert MyCoolThing.name == "mycoolthing"
+
+
+class TestScenarioDeployment:
+    def _definition(self) -> ScenarioDefinition:
+        return ScenarioDefinition(
+            layers=[
+                Layer("cloud", (LayerMapping("echo", "chifflot", nodes=2, options={"payload": "hi"}),)),
+                Layer("edge", (LayerMapping("echo", "gros", nodes=3),)),
+            ]
+        )
+
+    def test_deploy_and_teardown(self):
+        registry = ServiceRegistry()
+        registry.register(EchoService)
+        testbed = grid5000()
+        definition = self._definition()
+        definition.constrain("edge", "cloud", latency_ms=10.0, bandwidth_gbps=1.0)
+
+        scenario = definition.deploy(testbed, registry=registry)
+        assert len(scenario.services) == 2  # two instances, numbered
+        assert scenario.service("echo").payload == "hi"
+        assert scenario.layer_of_service["echo"] == "cloud"
+        assert scenario.layer_of_service["echo.2"] == "edge"
+        assert len(scenario.deployment) == 5
+        # network constraint applied
+        path = testbed.network.path("edge", "cloud")
+        assert path.latency_ms == 10.0
+
+        scenario.teardown()
+        assert testbed.free_node_count("chifflot") == 8
+        assert testbed.free_node_count("gros") == 124
+
+    def test_failed_deploy_releases_everything(self):
+        class Exploding(Service):
+            name = "exploding"
+
+            def deploy(self, context):
+                raise DeploymentError("boom")
+
+        registry = ServiceRegistry()
+        registry.register(Exploding)
+        testbed = grid5000()
+        definition = ScenarioDefinition(
+            layers=[Layer("cloud", (LayerMapping("exploding", "gros", nodes=2),))]
+        )
+        with pytest.raises(DeploymentError):
+            definition.deploy(testbed, registry=registry)
+        assert testbed.free_node_count("gros") == 124
+
+    def test_duplicate_layer_names_rejected(self):
+        with pytest.raises(ValidationError):
+            ScenarioDefinition(
+                layers=[
+                    Layer("cloud", (LayerMapping("echo", "gros"),)),
+                    Layer("cloud", (LayerMapping("echo", "gros"),)),
+                ]
+            )
+
+    def test_empty_layer_rejected(self):
+        with pytest.raises(ValidationError):
+            Layer("cloud", ())
+
+    def test_require_nodes_helper(self):
+        service = EchoService()
+        testbed = grid5000()
+        res = testbed.reserve([__import__("repro.testbed", fromlist=["ResourceRequest"]).ResourceRequest("gros", 1)])
+        from repro.testbed import Deployment
+
+        context = ServiceContext(
+            testbed=testbed, deployment=Deployment(reservation=res), nodes=res.all_nodes()
+        )
+        with pytest.raises(DeploymentError, match="needs 5 nodes"):
+            service.require_nodes(context, 5)

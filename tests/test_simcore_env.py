@@ -1,0 +1,81 @@
+"""Tests for Environment.run semantics."""
+
+import pytest
+
+from repro import simcore
+from repro.simcore.core import EmptySchedule
+
+
+class TestRunUntil:
+    def test_until_time_stops_clock(self):
+        env = simcore.Environment()
+
+        def ticker(env, log):
+            while True:
+                yield env.timeout(1.0)
+                log.append(env.now)
+
+        log = []
+        env.process(ticker(env, log))
+        env.run(until=3.5)
+        assert env.now == 3.5
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_until_in_past_rejected(self):
+        env = simcore.Environment()
+        env.run(until=5.0)
+        with pytest.raises(ValueError):
+            env.run(until=1.0)
+
+    def test_resume_after_until(self):
+        env = simcore.Environment()
+
+        def ticker(env, log):
+            for _ in range(5):
+                yield env.timeout(1.0)
+                log.append(env.now)
+
+        log = []
+        env.process(ticker(env, log))
+        env.run(until=2.5)
+        env.run()
+        assert log == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_until_event_returns_value(self):
+        env = simcore.Environment()
+        assert env.run(until=env.timeout(2.0, "v")) == "v"
+
+    def test_until_already_processed_event(self):
+        env = simcore.Environment()
+        ev = env.timeout(1.0, "x")
+        env.run()
+        assert env.run(until=ev) == "x"
+
+    def test_until_failed_event_raises(self):
+        env = simcore.Environment()
+        ev = env.event()
+
+        def failer(env, ev):
+            yield env.timeout(1.0)
+            ev.fail(RuntimeError("deliberate"))
+
+        env.process(failer(env, ev))
+        with pytest.raises(RuntimeError, match="deliberate"):
+            env.run(until=ev)
+
+    def test_step_on_empty_schedule(self):
+        env = simcore.Environment()
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_peek(self):
+        env = simcore.Environment()
+        assert env.peek() == float("inf")
+        env.timeout(3.0)
+        assert env.peek() == 3.0
+
+    def test_initial_time(self):
+        env = simcore.Environment(initial_time=100.0)
+        env.timeout(1.0)
+        env.run()
+        assert env.now == 101.0

@@ -1,0 +1,139 @@
+"""Tests for forests, GBRT and the remaining surrogates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.surrogate import (
+    DummyRegressor,
+    ExtraTreesRegressor,
+    GBRTQuantile,
+    GradientBoostingRegressor,
+    KNeighborsRegressor,
+    PolynomialRegressor,
+    RandomForestRegressor,
+    get_surrogate,
+)
+
+
+def _dataset(rng, n=150):
+    X = rng.uniform(-2, 2, size=(n, 3))
+    y = np.sin(X[:, 0]) + 0.5 * X[:, 1] ** 2 - X[:, 2] + 0.05 * rng.normal(size=n)
+    return X, y
+
+
+class TestForests:
+    @pytest.mark.parametrize("cls", [RandomForestRegressor, ExtraTreesRegressor])
+    def test_learns_nonlinear_function(self, cls, rng):
+        X, y = _dataset(rng)
+        model = cls(n_estimators=30, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    @pytest.mark.parametrize("cls", [RandomForestRegressor, ExtraTreesRegressor])
+    def test_std_positive_and_varies(self, cls, rng):
+        X, y = _dataset(rng)
+        model = cls(n_estimators=20, random_state=0).fit(X, y)
+        _, std = model.predict(rng.uniform(-2, 2, size=(40, 3)), return_std=True)
+        assert (std > 0).all()
+
+    def test_extrapolation_uncertainty_larger(self, rng):
+        """Ensemble spread should grow away from the training data."""
+        X, y = _dataset(rng)
+        model = RandomForestRegressor(n_estimators=40, random_state=0).fit(X, y)
+        _, std_in = model.predict(np.zeros((1, 3)), return_std=True)
+        _, std_out = model.predict(np.full((1, 3), 1.9), return_std=True)
+        assert std_out[0] > 0  # sanity; spread exists at the edge
+
+    def test_reproducible_with_seed(self, rng):
+        X, y = _dataset(rng)
+        a = ExtraTreesRegressor(n_estimators=10, random_state=5).fit(X, y).predict(X[:10])
+        b = ExtraTreesRegressor(n_estimators=10, random_state=5).fit(X, y).predict(X[:10])
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RandomForestRegressor(n_estimators=0)
+        with pytest.raises(ValidationError):
+            ExtraTreesRegressor().predict([[0, 0, 0]])
+
+
+class TestGBRT:
+    def test_ls_loss_learns(self, rng):
+        X, y = _dataset(rng)
+        model = GradientBoostingRegressor(n_estimators=80, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_quantile_ordering(self, rng):
+        """The 0.16 / 0.5 / 0.84 quantile models must mostly not cross."""
+        X, y = _dataset(rng, n=300)
+        model = GBRTQuantile(n_estimators=60, random_state=0).fit(X, y)
+        Xt = rng.uniform(-2, 2, size=(100, 3))
+        lo = model._models[0].predict(Xt)
+        hi = model._models[2].predict(Xt)
+        assert np.mean(hi >= lo) > 0.9
+
+    def test_quantile_calibration(self, rng):
+        """About half the targets should fall under the median model."""
+        X, y = _dataset(rng, n=400)
+        model = GradientBoostingRegressor(
+            n_estimators=60, loss="quantile", quantile=0.5, random_state=0
+        ).fit(X, y)
+        frac_below = float(np.mean(y <= model.predict(X)))
+        assert 0.35 <= frac_below <= 0.65
+
+    def test_subsample(self, rng):
+        X, y = _dataset(rng)
+        model = GradientBoostingRegressor(n_estimators=30, subsample=0.5, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            GradientBoostingRegressor(learning_rate=0.0)
+        with pytest.raises(ValidationError):
+            GradientBoostingRegressor(loss="huber")
+        with pytest.raises(ValidationError):
+            GBRTQuantile(quantiles=(0.5, 0.16, 0.84))
+
+
+class TestSimpleSurrogates:
+    def test_polynomial_exact_on_quadratic(self, rng):
+        X = rng.uniform(-1, 1, size=(80, 2))
+        y = 1.0 + 2.0 * X[:, 0] - X[:, 1] + 0.5 * X[:, 0] * X[:, 1]
+        model = PolynomialRegressor(degree=2).fit(X, y)
+        assert model.score(X, y) > 0.999
+
+    def test_polynomial_std_constant(self, rng):
+        X, y = _dataset(rng)
+        model = PolynomialRegressor(degree=2).fit(X, y)
+        _, std = model.predict(X[:20], return_std=True)
+        assert np.allclose(std, std[0])
+
+    def test_knn_interpolates(self, rng):
+        X, y = _dataset(rng)
+        model = KNeighborsRegressor(n_neighbors=1).fit(X, y)
+        assert model.predict(X) == pytest.approx(y)
+
+    def test_knn_uniform_weights(self, rng):
+        X, y = _dataset(rng)
+        model = KNeighborsRegressor(n_neighbors=5, weights="uniform").fit(X, y)
+        assert model.score(X, y) > 0.7
+
+    def test_dummy_predicts_mean(self, rng):
+        X, y = _dataset(rng)
+        model = DummyRegressor().fit(X, y)
+        mean, std = model.predict(X[:5], return_std=True)
+        assert np.allclose(mean, y.mean())
+        assert np.allclose(std, y.std())
+
+
+class TestGetSurrogate:
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [("ET", "ET"), ("rf", "RF"), ("GBRT", "GBRT"), ("gp", "GP"), ("kriging", "GP")],
+    )
+    def test_aliases(self, alias, expected):
+        assert get_surrogate(alias).name == expected
+
+    def test_unknown(self):
+        with pytest.raises(ValidationError):
+            get_surrogate("transformer")

@@ -1,0 +1,78 @@
+"""Tests for the Gaussian process (Kriging) surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.surrogate import GaussianProcessRegressor, Matern, RBF
+
+
+class TestKernels:
+    def test_rbf_diagonal_ones(self, rng):
+        X = rng.uniform(size=(10, 2))
+        K = RBF(0.7)(X, X)
+        assert np.allclose(np.diag(K), 1.0)
+        assert (K <= 1.0 + 1e-12).all()
+
+    def test_matern_nu_validation(self):
+        with pytest.raises(ValidationError):
+            Matern(nu=2.0)
+
+    @pytest.mark.parametrize("nu", [0.5, 1.5, 2.5])
+    def test_matern_decreases_with_distance(self, nu):
+        kernel = Matern(1.0, nu=nu)
+        A = np.array([[0.0]])
+        B = np.array([[0.0], [0.5], [1.0], [2.0]])
+        values = kernel(A, B).ravel()
+        assert values[0] == pytest.approx(1.0)
+        assert (np.diff(values) < 0).all()
+
+    def test_anisotropic_length_scales(self):
+        kernel = RBF(np.array([0.1, 10.0]))
+        A = np.array([[0.0, 0.0]])
+        near_in_x1 = np.array([[0.2, 0.0]])
+        near_in_x2 = np.array([[0.0, 0.2]])
+        assert kernel(A, near_in_x1)[0, 0] < kernel(A, near_in_x2)[0, 0]
+
+
+class TestGPRegression:
+    def test_interpolates_noiseless_data(self, rng):
+        X = rng.uniform(-2, 2, size=(25, 1))
+        y = np.sin(X[:, 0])
+        gp = GaussianProcessRegressor(noise=1e-8, random_state=0).fit(X, y)
+        mean, std = gp.predict(X, return_std=True)
+        assert mean == pytest.approx(y, abs=5e-2)
+
+    def test_uncertainty_grows_off_data(self, rng):
+        X = rng.uniform(-1, 1, size=(30, 1))
+        y = np.sin(3 * X[:, 0])
+        gp = GaussianProcessRegressor(random_state=0).fit(X, y)
+        _, std_in = gp.predict(np.array([[0.0]]), return_std=True)
+        _, std_out = gp.predict(np.array([[4.0]]), return_std=True)
+        assert std_out[0] > std_in[0]
+
+    def test_generalizes(self, rng):
+        X = rng.uniform(-2, 2, size=(60, 2))
+        y = X[:, 0] ** 2 + np.sin(X[:, 1])
+        Xt = rng.uniform(-2, 2, size=(40, 2))
+        yt = Xt[:, 0] ** 2 + np.sin(Xt[:, 1])
+        gp = GaussianProcessRegressor(random_state=0).fit(X, y)
+        assert gp.score(Xt, yt) > 0.95
+
+    def test_no_hyperopt_mode(self, rng):
+        X = rng.uniform(size=(15, 1))
+        y = X[:, 0]
+        gp = GaussianProcessRegressor(optimize_hyperparams=False).fit(X, y)
+        assert gp.score(X, y) > 0.9
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ValidationError):
+            GaussianProcessRegressor().predict([[0.0]])
+
+    def test_noisy_data_recovers_noise(self, rng):
+        X = rng.uniform(-2, 2, size=(120, 1))
+        y = np.sin(X[:, 0]) + 0.2 * rng.normal(size=120)
+        gp = GaussianProcessRegressor(random_state=0, n_restarts=2).fit(X, y)
+        # normalized noise should be roughly (0.2 / y.std())^2
+        expected = (0.2 / y.std()) ** 2
+        assert gp.noise_ == pytest.approx(expected, rel=1.0)  # order of magnitude

@@ -1,0 +1,205 @@
+"""Tests for the Grid'5000-like testbed simulator."""
+
+import pytest
+
+from repro.errors import ReservationError, ValidationError
+from repro.testbed import (
+    CLUSTER_SPECS,
+    CPUSpec,
+    Cluster,
+    Deployment,
+    GPUSpec,
+    Link,
+    NICSpec,
+    NodeSpec,
+    ResourceRequest,
+    Site,
+    Testbed,
+    grid5000,
+)
+
+
+class TestHardware:
+    def test_chifflot_matches_paper(self):
+        spec = CLUSTER_SPECS["chifflot"]
+        assert spec.model == "Dell PowerEdge R740"
+        assert spec.total_cores == 24  # 2 sockets x 12 cores
+        assert spec.memory_gb == 192.0
+        assert spec.nic.rate_gbps == 25.0
+        assert spec.gpus[0].model == "Nvidia Tesla V100-PCIE-32GB"
+        assert spec.gpus[0].memory_gb == 32.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CPUSpec("bad", cores=0)
+        with pytest.raises(ValidationError):
+            GPUSpec("bad", memory_gb=0)
+        with pytest.raises(ValidationError):
+            NICSpec("bad", rate_gbps=0)
+        with pytest.raises(ValidationError):
+            NodeSpec("bad", cpus=(), memory_gb=1, storage_gb=1, nic=NICSpec("n", 1))
+
+    def test_describe(self):
+        assert "Tesla V100" in CLUSTER_SPECS["chifflot"].describe()
+
+    def test_nic_bytes(self):
+        assert NICSpec("n", 8.0).rate_bytes_per_s == 1e9
+
+
+class TestReservations:
+    def test_atomic_reservation(self):
+        tb = grid5000()
+        free_before = tb.free_node_count()
+        with pytest.raises(ReservationError):
+            tb.reserve(
+                [
+                    ResourceRequest("chifflot", 2),
+                    ResourceRequest("chiclet", 999),  # infeasible
+                ]
+            )
+        assert tb.free_node_count() == free_before  # nothing leaked
+
+    def test_gpu_requirement(self):
+        tb = grid5000()
+        with pytest.raises(ReservationError, match="GPU"):
+            tb.reserve([ResourceRequest("gros", 1, require_gpu=True)])
+
+    def test_release_via_context_manager(self):
+        tb = grid5000()
+        with tb.reserve([ResourceRequest("chifflot", 3)]) as res:
+            assert tb.free_node_count("chifflot") == 5
+            assert res.node_count == 3
+        assert tb.free_node_count("chifflot") == 8
+
+    def test_double_release_idempotent(self):
+        tb = grid5000()
+        res = tb.reserve([ResourceRequest("gros", 2)])
+        res.release()
+        res.release()
+        assert tb.free_node_count("gros") == 124
+
+    def test_unknown_cluster(self):
+        tb = grid5000()
+        with pytest.raises(ReservationError, match="unknown cluster"):
+            tb.reserve([ResourceRequest("nonexistent", 1)])
+
+    def test_node_names_grid5000_style(self):
+        tb = grid5000()
+        res = tb.reserve([ResourceRequest("chifflot", 1)])
+        assert res.all_nodes()[0].name == "chifflot-1.lille"
+
+    def test_paper_42_node_reservation(self):
+        tb = grid5000()
+        res = tb.reserve(
+            [
+                ResourceRequest("chifflot", 1, require_gpu=True),
+                ResourceRequest("chiclet", 8),
+                ResourceRequest("chetemi", 13),
+                ResourceRequest("chifflet", 8),
+                ResourceRequest("gros", 12),
+            ]
+        )
+        assert res.node_count == 42
+
+
+class TestNetwork:
+    def test_direct_link(self):
+        tb = grid5000()
+        path = tb.network.path("gros", "chifflot")
+        assert path.bandwidth_gbps == 10.0
+        assert path.latency_ms == 5.0
+
+    def test_transfer_time(self):
+        tb = grid5000()
+        path = tb.network.path("chiclet", "chifflot")
+        # 0.1 ms latency + 1 MB over 10 Gbps
+        expected = 0.1e-3 + 1e6 / (10e9 / 8)
+        assert path.transfer_time(1e6) == pytest.approx(expected)
+
+    def test_unknown_endpoints_get_lan_defaults(self):
+        tb = grid5000()
+        path = tb.network.path("never-seen", "also-unknown")
+        assert path.bandwidth_gbps == 10.0
+
+    def test_same_endpoint_is_free(self):
+        tb = grid5000()
+        path = tb.network.path("gros", "gros")
+        assert path.transfer_time(1e9) == 0.0
+
+    def test_multi_hop_latency_adds_bandwidth_bottlenecks(self):
+        tb = Testbed("t", [Site("s")])
+        net = tb.network
+        for n in ("a", "b", "c"):
+            net.add_site(n)
+        net.add_link(Link("a", "b", latency_ms=1.0, bandwidth_gbps=10.0))
+        net.add_link(Link("b", "c", latency_ms=2.0, bandwidth_gbps=1.0))
+        path = net.path("a", "c")
+        assert path.latency_ms == 3.0
+        assert path.bandwidth_gbps == 1.0
+        assert path.hops == ("a", "b", "c")
+
+    def test_loss_reduces_goodput(self):
+        link = Link("a", "b", latency_ms=0.0, bandwidth_gbps=8.0, loss=0.5)
+        tb = Testbed("t", [])
+        tb.network.add_link(link)
+        path = tb.network.path("a", "b")
+        assert path.transfer_time(1e9) == pytest.approx(2.0)
+
+    def test_link_validation(self):
+        with pytest.raises(ValidationError):
+            Link("a", "b", latency_ms=-1, bandwidth_gbps=1)
+        with pytest.raises(ValidationError):
+            Link("a", "b", latency_ms=1, bandwidth_gbps=0)
+        with pytest.raises(ValidationError):
+            Link("a", "b", latency_ms=1, bandwidth_gbps=1, loss=1.0)
+
+
+class TestDeployment:
+    def test_place_and_teardown(self):
+        tb = grid5000()
+        res = tb.reserve([ResourceRequest("chifflot", 1)])
+        node = res.nodes_of("chifflot")[0]
+        deployment = Deployment(reservation=res)
+        deployment.place("engine", node, cores=40, memory_gb=64, gpus=1)
+        assert node.allocated_cores == 40
+        assert len(deployment.manifest()) == 1
+        deployment.teardown()
+        assert node.allocated_cores == 0
+
+    def test_oversubscription_rejected(self):
+        tb = grid5000()
+        res = tb.reserve([ResourceRequest("gros", 1)])
+        node = res.nodes_of("gros")[0]
+        deployment = Deployment(reservation=res)
+        with pytest.raises(ReservationError, match="cores"):
+            deployment.place("x", node, cores=10_000)
+        with pytest.raises(ReservationError, match="GPU"):
+            deployment.place("x", node, gpus=1)
+
+    def test_foreign_node_rejected(self):
+        tb = grid5000()
+        res1 = tb.reserve([ResourceRequest("gros", 1)])
+        res2 = tb.reserve([ResourceRequest("gros", 1)])
+        deployment = Deployment(reservation=res1)
+        from repro.errors import DeploymentError
+
+        with pytest.raises(DeploymentError):
+            deployment.place("x", res2.nodes_of("gros")[0], cores=1)
+
+
+class TestClusterSite:
+    def test_duplicate_cluster_rejected(self):
+        site = Site("lille")
+        spec = CLUSTER_SPECS["gros"]
+        site.add_cluster(Cluster("c1", "lille", spec, 2))
+        with pytest.raises(ValidationError):
+            site.add_cluster(Cluster("c1", "lille", spec, 2))
+
+    def test_cluster_site_mismatch(self):
+        site = Site("lille")
+        with pytest.raises(ValidationError):
+            site.add_cluster(Cluster("c1", "nancy", CLUSTER_SPECS["gros"], 1))
+
+    def test_total_nodes(self):
+        tb = grid5000()
+        assert tb.total_nodes == 8 + 8 + 15 + 8 + 124

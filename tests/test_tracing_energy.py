@@ -1,0 +1,129 @@
+"""Tests for the reservoir sampler, tracing, energy and CSV export."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import BASELINE_CONFIG, IdentificationEngine, WorkloadSpec
+from repro.engine.tasks import TaskType
+from repro.errors import ValidationError
+from repro.utils import ReservoirSampler
+
+
+class TestReservoirSampler:
+    def test_small_stream_stored_exactly(self):
+        reservoir = ReservoirSampler(capacity=100, seed=0)
+        for v in range(50):
+            reservoir.add(float(v))
+        assert len(reservoir) == 50
+        assert reservoir.seen == 50
+        assert reservoir.quantile(0.0) == 0.0
+        assert reservoir.quantile(1.0) == 49.0
+
+    def test_capacity_respected(self):
+        reservoir = ReservoirSampler(capacity=64, seed=0)
+        for v in range(10000):
+            reservoir.add(float(v))
+        assert len(reservoir) == 64
+        assert reservoir.seen == 10000
+
+    def test_quantiles_approximate_distribution(self):
+        rng = np.random.default_rng(1)
+        reservoir = ReservoirSampler(capacity=2000, seed=0)
+        values = rng.normal(10.0, 2.0, size=50000)
+        for v in values:
+            reservoir.add(float(v))
+        assert reservoir.quantile(0.5) == pytest.approx(10.0, abs=0.3)
+        ps = reservoir.percentiles((50.0, 95.0))
+        assert ps["p95"] == pytest.approx(10.0 + 1.645 * 2.0, abs=0.5)
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_sample_subset_of_stream(self, values):
+        reservoir = ReservoirSampler(capacity=32, seed=3)
+        for v in values:
+            reservoir.add(v)
+        stored = reservoir.values()
+        for v in stored:
+            assert v in np.asarray(values)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ReservoirSampler(capacity=0)
+        reservoir = ReservoirSampler(capacity=4)
+        with pytest.raises(ValidationError):
+            reservoir.quantile(0.5)
+        reservoir.add(1.0)
+        with pytest.raises(ValidationError):
+            reservoir.quantile(1.5)
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    workload = WorkloadSpec(simultaneous_requests=40, duration=180.0, warmup=30.0)
+    return IdentificationEngine(BASELINE_CONFIG, workload, seed=2, trace=True).run()
+
+
+class TestTracing:
+    def test_traces_collected_post_warmup(self, traced_run):
+        assert traced_run.traces
+        assert all(t.submitted >= 0 for t in traced_run.traces)
+        # warm-up requests excluded: completion is post-warmup
+        assert traced_run.completed_requests == pytest.approx(len(traced_run.traces), abs=2)
+
+    def test_trace_tasks_cover_pipeline(self, traced_run):
+        trace = traced_run.traces[0]
+        for task in TaskType:
+            assert str(task) in trace.tasks, task
+
+    def test_trace_durations_sum_to_response(self, traced_run):
+        for trace in traced_run.traces[:50]:
+            total = sum(trace.tasks.values())
+            # task durations + http-admission wait == response; at 40 clients
+            # against 40 HTTP threads there is no admission wait
+            assert total == pytest.approx(trace.response_time, rel=1e-6)
+
+    def test_tracing_off_by_default(self):
+        workload = WorkloadSpec(simultaneous_requests=10, duration=100.0, warmup=20.0)
+        result = IdentificationEngine(BASELINE_CONFIG, workload, seed=2).run()
+        assert result.traces == []
+
+    def test_percentiles_ordered(self, traced_run):
+        ps = traced_run.response_percentiles
+        assert ps["p50"] <= ps["p95"] <= ps["p99"]
+        assert ps["p50"] == pytest.approx(traced_run.user_response_time.mean, rel=0.25)
+
+
+class TestEnergy:
+    def test_energy_positive_and_bounded(self, traced_run):
+        measured_h = (traced_run.workload.duration - traced_run.workload.warmup) / 3600.0
+        params = traced_run.workload  # durations only
+        assert traced_run.node_energy_wh > 120.0 * measured_h  # above idle
+        assert traced_run.node_energy_wh < 420.0 * measured_h  # below max
+        assert traced_run.gpu_energy_wh > 0
+
+    def test_energy_grows_with_load(self):
+        def energy(requests):
+            workload = WorkloadSpec(simultaneous_requests=requests, duration=150.0, warmup=30.0)
+            result = IdentificationEngine(BASELINE_CONFIG, workload, seed=3).run()
+            return result.node_energy_wh + result.gpu_energy_wh
+
+        assert energy(80) > energy(10)
+
+
+class TestCsvExport:
+    def test_roundtrip(self, traced_run, tmp_path):
+        paths = traced_run.export_csv(tmp_path)
+        names = {p.name for p in paths}
+        assert "user_resp_time.csv" not in names  # series use canonical names
+        assert "user_response_time.csv" in names
+        assert "node_power_w.csv" in names
+        assert "traces.csv" in names
+        series_file = tmp_path / "user_response_time.csv"
+        lines = series_file.read_text().strip().splitlines()
+        assert lines[0] == "time,value"
+        assert len(lines) == len(traced_run.series.user_response_time) + 1
+        trace_lines = (tmp_path / "traces.csv").read_text().strip().splitlines()
+        assert trace_lines[0].startswith("submitted,response_time,")
+        assert len(trace_lines) == len(traced_run.traces) + 1

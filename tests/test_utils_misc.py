@@ -1,0 +1,87 @@
+"""Tests for tables, validation, serialization utilities."""
+
+import dataclasses
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.serialization import dump_json, load_json, to_jsonable
+from repro.utils.tables import Table
+from repro.utils.validation import check_in_range, check_positive, check_probability, check_type
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["a", "bbbb"], title="T")
+        t.add_row(["x", 1])
+        out = t.render()
+        assert out.splitlines()[0] == "T"
+        assert "a " in out and "bbbb" in out
+
+    def test_row_width_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        t.add_row([2.65714])
+        assert "2.657" in t.render()
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 2) == 2.0
+        with pytest.raises(ValidationError):
+            check_positive("x", 0)
+        assert check_positive("x", 0, strict=False) == 0.0
+        with pytest.raises(ValidationError):
+            check_positive("x", -1, strict=False)
+
+    def test_check_in_range(self):
+        assert check_in_range("x", 5, 0, 10) == 5.0
+        with pytest.raises(ValidationError):
+            check_in_range("x", 0, 0, 10, inclusive=False)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        with pytest.raises(ValidationError):
+            check_probability("p", 1.5)
+
+    def test_check_type(self):
+        assert check_type("x", 5, int) == 5
+        with pytest.raises(ValidationError):
+            check_type("x", "s", (int, float))
+
+
+@dataclasses.dataclass
+class _Point:
+    x: int
+    label: str
+
+
+class TestSerialization:
+    def test_numpy_and_dataclass(self):
+        obj = {
+            "arr": np.arange(3),
+            "scalar": np.float64(1.5),
+            "point": _Point(1, "a"),
+            "set": {2, 1},
+            "path": Path("/tmp/x"),
+        }
+        out = to_jsonable(obj)
+        assert out["arr"] == [0, 1, 2]
+        assert out["scalar"] == 1.5
+        assert out["point"] == {"x": 1, "label": "a"}
+        assert out["set"] == [1, 2]
+        assert out["path"] == "/tmp/x"
+
+    def test_unserializable_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+    def test_roundtrip(self, tmp_path):
+        path = dump_json({"a": [1, 2], "b": "x"}, tmp_path / "sub" / "f.json")
+        assert load_json(path) == {"a": [1, 2], "b": "x"}

@@ -1,0 +1,67 @@
+"""Tests for repro.utils.timeseries."""
+
+import numpy as np
+import pytest
+
+from repro.utils.timeseries import TimeSeries
+
+
+class TestAppend:
+    def test_ordering_enforced(self):
+        ts = TimeSeries("x")
+        ts.append(1.0, 10.0)
+        with pytest.raises(ValueError):
+            ts.append(0.5, 11.0)
+
+    def test_equal_times_allowed(self):
+        ts = TimeSeries("x")
+        ts.append(1.0, 1.0)
+        ts.append(1.0, 2.0)
+        assert len(ts) == 2
+
+    def test_iteration(self):
+        ts = TimeSeries("x", [(0.0, 1.0), (1.0, 2.0)])
+        assert list(ts) == [(0.0, 1.0), (1.0, 2.0)]
+
+
+class TestAggregation:
+    def test_summary(self):
+        ts = TimeSeries("x", [(float(i), float(i)) for i in range(5)])
+        s = ts.summary()
+        assert s.mean == 2.0
+        assert s.count == 5
+
+    def test_window(self):
+        ts = TimeSeries("x", [(float(i), float(i)) for i in range(10)])
+        w = ts.window(2.0, 5.0)
+        assert list(w.times) == [2.0, 3.0, 4.0]
+
+    def test_resample_means_buckets(self):
+        ts = TimeSeries("x", [(0.5, 1.0), (1.5, 3.0), (2.5, 5.0), (3.5, 7.0)])
+        r = ts.resample(2.0)
+        assert len(r) == 2
+        assert list(r.values) == [2.0, 6.0]
+
+    def test_resample_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x").resample(0.0)
+
+    def test_integrate_constant(self):
+        ts = TimeSeries("x", [(0.0, 2.0), (10.0, 2.0)])
+        assert ts.integrate() == pytest.approx(20.0)
+        assert ts.time_average() == pytest.approx(2.0)
+
+    def test_time_average_single_sample(self):
+        ts = TimeSeries("x", [(0.0, 3.0)])
+        assert ts.time_average() == 3.0
+
+
+class TestMerge:
+    def test_merge_pools_samples(self):
+        a = TimeSeries("x", [(0.0, 1.0), (10.0, 2.0)])
+        b = TimeSeries("x", [(0.0, 3.0), (10.0, 4.0)])
+        merged = TimeSeries.merge([a, b])
+        assert len(merged) == 4
+        assert merged.summary().mean == pytest.approx(2.5)
+        # times strictly ordered after offsetting
+        assert np.all(np.diff(merged.times) >= 0)

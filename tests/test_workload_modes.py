@@ -1,0 +1,134 @@
+"""Tests for open-loop and scheduled workload modes."""
+
+import numpy as np
+import pytest
+
+from repro.engine import BASELINE_CONFIG, IdentificationEngine, WorkloadSpec
+from repro.errors import ValidationError
+
+
+class TestWorkloadSpecModes:
+    def test_mode_detection(self):
+        assert WorkloadSpec().mode == "closed"
+        assert WorkloadSpec(arrival_rate=10.0).mode == "open"
+        assert (
+            WorkloadSpec(
+                simultaneous_requests=50, population_schedule=((0.0, 20), (100.0, 50))
+            ).mode
+            == "scheduled"
+        )
+
+    def test_exclusive_modes(self):
+        with pytest.raises(ValidationError):
+            WorkloadSpec(arrival_rate=5.0, population_schedule=((0.0, 10),),
+                         simultaneous_requests=10)
+
+    def test_schedule_validation(self):
+        with pytest.raises(ValidationError, match="start at t=0"):
+            WorkloadSpec(simultaneous_requests=10, population_schedule=((5.0, 10),))
+        with pytest.raises(ValidationError, match="strictly increasing"):
+            WorkloadSpec(
+                simultaneous_requests=10,
+                population_schedule=((0.0, 10), (100.0, 5), (100.0, 10)),
+            )
+        with pytest.raises(ValidationError, match="schedule maximum"):
+            WorkloadSpec(simultaneous_requests=99, population_schedule=((0.0, 10),))
+
+    def test_population_at(self):
+        spec = WorkloadSpec(
+            simultaneous_requests=100,
+            population_schedule=((0.0, 40), (200.0, 100), (400.0, 20)),
+        )
+        assert spec.population_at(0.0) == 40
+        assert spec.population_at(199.9) == 40
+        assert spec.population_at(200.0) == 100
+        assert spec.population_at(500.0) == 20
+
+    def test_arrival_rate_validated(self):
+        with pytest.raises(ValidationError):
+            WorkloadSpec(arrival_rate=0.0)
+
+
+class TestOpenLoop:
+    def test_throughput_tracks_arrival_rate(self):
+        workload = WorkloadSpec(
+            simultaneous_requests=1, duration=300.0, warmup=50.0, arrival_rate=12.0
+        )
+        result = IdentificationEngine(BASELINE_CONFIG, workload, seed=4).run()
+        assert result.throughput == pytest.approx(12.0, rel=0.12)
+
+    def test_underloaded_response_is_service_time(self):
+        workload = WorkloadSpec(
+            simultaneous_requests=1, duration=250.0, warmup=50.0, arrival_rate=5.0
+        )
+        result = IdentificationEngine(BASELINE_CONFIG, workload, seed=4).run()
+        # almost no queueing at 5 req/s against ~33 req/s capacity
+        assert result.user_response_time.mean < 1.6
+
+    def test_overload_grows_queues(self):
+        light = IdentificationEngine(
+            BASELINE_CONFIG,
+            WorkloadSpec(simultaneous_requests=1, duration=220.0, warmup=40.0, arrival_rate=10.0),
+            seed=2,
+        ).run()
+        heavy = IdentificationEngine(
+            BASELINE_CONFIG,
+            WorkloadSpec(simultaneous_requests=1, duration=220.0, warmup=40.0, arrival_rate=30.0),
+            seed=2,
+        ).run()
+        assert heavy.user_response_time.mean > light.user_response_time.mean
+
+
+class TestScheduledPopulation:
+    def test_response_follows_population(self):
+        workload = WorkloadSpec(
+            simultaneous_requests=100,
+            duration=600.0,
+            warmup=30.0,
+            population_schedule=((0.0, 40), (200.0, 100), (400.0, 20)),
+        )
+        result = IdentificationEngine(BASELINE_CONFIG, workload, seed=1).run()
+        series = result.series.user_response_time
+        t, v = series.times, series.values
+
+        def window_mean(a, b):
+            mask = (t > a) & (t <= b)
+            return float(v[mask].mean())
+
+        low1 = window_mean(60, 200)
+        high = window_mean(260, 400)
+        low2 = window_mean(470, 600)
+        assert high > low1 * 1.5
+        assert low2 < low1 * 1.2
+
+    def test_population_can_drop_to_zero(self):
+        workload = WorkloadSpec(
+            simultaneous_requests=30,
+            duration=300.0,
+            warmup=20.0,
+            population_schedule=((0.0, 30), (150.0, 0)),
+        )
+        result = IdentificationEngine(BASELINE_CONFIG, workload, seed=1).run()
+        throughput = result.series.throughput
+        tail = throughput.values[throughput.times > 200.0]
+        assert (tail == 0).all()
+
+    def test_scheduled_equals_constant_when_flat(self):
+        constant = IdentificationEngine(
+            BASELINE_CONFIG,
+            WorkloadSpec(simultaneous_requests=40, duration=200.0, warmup=40.0),
+            seed=9,
+        ).run()
+        flat_schedule = IdentificationEngine(
+            BASELINE_CONFIG,
+            WorkloadSpec(
+                simultaneous_requests=40,
+                duration=200.0,
+                warmup=40.0,
+                population_schedule=((0.0, 40),),
+            ),
+            seed=9,
+        ).run()
+        assert flat_schedule.user_response_time.mean == pytest.approx(
+            constant.user_response_time.mean, rel=0.02
+        )
