@@ -13,6 +13,14 @@ Subcommands::
 
     e2clab-repro calibration [--evaluator analytic|des]
         Print the model-vs-paper calibration report.
+
+    e2clab-repro report RUN_DIR [--top-k N]
+        Render a human-readable run report (phase timeline, trial table,
+        slowest spans, metric rollups) from the observability artifacts an
+        ``optimize --trace`` campaign exported into its experiment
+        directory.
+
+Also reachable as ``python -m repro ...``.
 """
 
 from __future__ import annotations
@@ -54,6 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("conf", help="path to the optimizer_conf JSON file")
     p_opt.add_argument("--repeat", type=int, default=None, help="extra validation runs of the best config")
     p_opt.add_argument("--duration", type=float, default=None, help="validation run duration (simulated seconds)")
+    p_opt.add_argument(
+        "--trace",
+        action="store_true",
+        help="record spans + metrics and export them into the experiment directory",
+    )
 
     p_sc = sub.add_parser("scenario", help="run one Pl@ntNet configuration")
     p_sc.add_argument("--config", default="baseline", help="baseline|preliminary|refined or h,d,e,s")
@@ -64,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cal = sub.add_parser("calibration", help="print paper-vs-model calibration")
     p_cal.add_argument("--evaluator", choices=("analytic", "des"), default="analytic")
+
+    p_rep = sub.add_parser("report", help="render a run report from exported artifacts")
+    p_rep.add_argument("run_dir", help="experiment directory holding the artifacts")
+    p_rep.add_argument("--top-k", type=int, default=10, help="how many slowest spans to list")
     return parser
 
 
@@ -84,6 +101,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         conf.repeat = args.repeat
     if args.duration is not None:
         conf.duration = args.duration
+    if args.trace:
+        conf.observability = True
 
     scenario = PlantNetScenario(duration=conf.duration or 300.0, base_seed=conf.seed or 0)
 
@@ -95,6 +114,19 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     print(outcome.summary.render())
     if outcome.validation is not None:
         print(f"\nvalidation over {len(outcome.validation_runs)} runs: {outcome.validation}")
+    if conf.observability:
+        print(
+            f"\nobservability artifacts exported to {manager.run_dir} "
+            f"(render with: python -m repro report {manager.run_dir})"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.observability import load_run, render_report
+
+    artifacts = load_run(args.run_dir)
+    print(render_report(artifacts, top_k=args.top_k))
     return 0
 
 
@@ -142,6 +174,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_scenario(args)
     if args.command == "calibration":
         return _cmd_calibration(args)
+    if args.command == "report":
+        return _cmd_report(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

@@ -24,7 +24,7 @@ from repro.utils.stats import RunningStats, Summary
 from repro.utils.timeseries import TimeSeries
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.engine.config import EngineModelParams, ThreadPoolConfig, WorkloadSpec
+    from repro.engine.config import ThreadPoolConfig, WorkloadSpec
 
 __all__ = ["MetricSeries", "EngineRunResult", "RequestTrace"]
 

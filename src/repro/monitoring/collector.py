@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generator
+from typing import Callable, Generator, Optional
 
 from repro import simcore
 from repro.errors import ValidationError
+from repro.observability.metrics import MetricsRegistry, get_registry
 from repro.utils.timeseries import TimeSeries
 
 __all__ = ["Probe", "MetricCollector"]
@@ -32,16 +33,37 @@ class MetricCollector:
         collector.start()
         ... run simulation ...
         series = collector.series["pool_occupancy"]
+
+    ``sample_at_start`` additionally samples every probe at the instant the
+    collector starts (t=0 of the paper's 10 s protocol), so a run of
+    duration ``D`` yields ``D / interval + 1`` samples instead of
+    ``D / interval``. Off by default for backward compatibility.
+
+    Samples are also published into a :class:`MetricsRegistry` (the
+    process-global one unless ``registry=`` is given) as the
+    ``monitor_probe_value{probe=...}`` gauge plus a sample counter — a no-op
+    while observability is disabled.
     """
 
-    def __init__(self, env: simcore.Environment, interval: float = 10.0) -> None:
+    def __init__(
+        self,
+        env: simcore.Environment,
+        interval: float = 10.0,
+        *,
+        sample_at_start: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if interval <= 0:
             raise ValidationError("interval must be positive")
         self.env = env
         self.interval = float(interval)
+        self.sample_at_start = bool(sample_at_start)
         self.probes: list[Probe] = []
         self.series: dict[str, TimeSeries] = {}
         self._process: simcore.Process | None = None
+        self._registry = registry
+        self._gauge = None
+        self._sample_counter = None
 
     def add_probe(self, name: str, read: Callable[[], float]) -> None:
         """Register a probe; must be called before :meth:`start`."""
@@ -56,16 +78,31 @@ class MetricCollector:
         """Start sampling; returns the collector process."""
         if self._process is not None:
             raise ValidationError("collector already started")
+        registry = self._registry if self._registry is not None else get_registry()
+        self._gauge = registry.gauge(
+            "monitor_probe_value", "last sampled value per probe", ("probe",)
+        )
+        self._sample_counter = registry.counter(
+            "monitor_samples_total", "probe samples taken"
+        )
         self._process = self.env.process(self._run(), name="metric-collector")
         return self._process
 
+    def _sample(self) -> None:
+        now = self.env.now
+        for probe in self.probes:
+            value = float(probe.read())
+            self.series[probe.name].append(now, value)
+            self._gauge.set(value, probe=probe.name)
+            self._sample_counter.inc()
+
     def _run(self) -> Generator[simcore.Event, None, None]:
         try:
+            if self.sample_at_start:
+                self._sample()
             while True:
                 yield self.env.timeout(self.interval)
-                now = self.env.now
-                for probe in self.probes:
-                    self.series[probe.name].append(now, float(probe.read()))
+                self._sample()
         except simcore.Interrupt:
             return
 

@@ -1,0 +1,111 @@
+"""End-to-end observability for the optimization cycle.
+
+Three pillars, all zero-cost when disabled (the defaults are a no-op tracer
+and a null metrics registry):
+
+- :mod:`repro.observability.trace` — nested spans with wall *and* simulated
+  clocks, covering every phase of the cycle (deploy → execute → optimize →
+  reconfigure), every trial (suggest / execute / tell), the DES event loop
+  and the engine's thread pools;
+- :mod:`repro.observability.metrics` — a counters/gauges/histograms registry
+  with JSON(L) and Prometheus-text exporters;
+- :mod:`repro.observability.profile` — per-trial cost attribution (surrogate
+  fit vs. acquisition vs. evaluation) folded into the Phase III summary.
+
+``python -m repro report <run-dir>`` renders the exported artifacts
+(:mod:`repro.observability.report`).
+
+Typical use::
+
+    from repro import observability as obs
+
+    tracer, registry = obs.enable()
+    ... run an OptimizationManager campaign ...
+    obs.export(run_dir)       # spans.jsonl + metrics.json + metrics.prom
+    obs.disable()
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.observability.profile import COST_COMPONENTS, CostBreakdown, aggregate_costs
+from repro.observability.report import RunArtifacts, load_run, render_report
+from repro.observability.trace import (
+    NoopTracer,
+    RecordingTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    load_spans,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "RecordingTracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "load_spans",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "get_registry",
+    "set_registry",
+    "CostBreakdown",
+    "aggregate_costs",
+    "COST_COMPONENTS",
+    "RunArtifacts",
+    "load_run",
+    "render_report",
+    "enable",
+    "disable",
+    "export",
+]
+
+
+def enable() -> tuple[RecordingTracer, MetricsRegistry]:
+    """Install a recording tracer + live registry globally; returns both."""
+    tracer = RecordingTracer()
+    registry = MetricsRegistry()
+    set_tracer(tracer)
+    set_registry(registry)
+    return tracer, registry
+
+
+def disable() -> None:
+    """Restore the inert defaults (no-op tracer, null registry)."""
+    set_tracer(None)
+    set_registry(None)
+
+
+def export(run_dir: str | Path) -> list[Path]:
+    """Write the global tracer/registry artifacts into ``run_dir``.
+
+    Only enabled components export; returns the paths written.
+    """
+    run_dir = Path(run_dir)
+    written: list[Path] = []
+    tracer = get_tracer()
+    if isinstance(tracer, RecordingTracer):
+        written.append(tracer.export_jsonl(run_dir / "spans.jsonl"))
+    registry = get_registry()
+    if registry.enabled:
+        written.append(registry.export_json(run_dir / "metrics.json"))
+        written.append(registry.export_prometheus(run_dir / "metrics.prom"))
+    return written

@@ -1,0 +1,347 @@
+"""A metrics registry: counters, gauges and histograms with labels.
+
+Replaces ad-hoc accounting with one uniform, thread-safe surface that every
+layer (trial runner, DES engine, monitoring probes) can publish into, and
+that exports to two formats:
+
+- **JSON** (:meth:`MetricsRegistry.to_dict` / :meth:`export_json`) — the
+  replayable run artifact consumed by ``python -m repro report``;
+- **Prometheus text exposition** (:meth:`render_prometheus`) — so a run can
+  be scraped or diffed with standard tooling.
+
+Like the tracer, the process-global default is inert: a
+:class:`NullRegistry` hands out shared no-op instruments, so instrumented
+code costs one dict lookup and no allocation when observability is off.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "get_registry",
+    "set_registry",
+]
+
+LabelValues = tuple[str, ...]
+
+#: default histogram buckets (seconds-oriented, log-ish spacing).
+DEFAULT_BUCKETS = (0.005, 0.025, 0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, float("inf"))
+
+
+def _label_key(labelnames: Sequence[str], labels: dict[str, Any]) -> LabelValues:
+    if set(labels) != set(labelnames):
+        raise ValidationError(
+            f"labels {sorted(labels)} do not match declared {sorted(labelnames)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class _Instrument:
+    """Base: one named metric family with a fixed label schema."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._data: dict[LabelValues, Any] = {}
+
+    def _series(self) -> list[tuple[LabelValues, Any]]:
+        with self._lock:
+            return sorted(self._data.items())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "series": [
+                {"labels": dict(zip(self.labelnames, key)), "value": self._value_repr(value)}
+                for key, value in self._series()
+            ],
+        }
+
+    def _value_repr(self, value: Any) -> Any:
+        return value
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count (events processed, trials run, ...)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValidationError(f"counter {self.name!r} cannot decrease (got {amount})")
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._data[key] = self._data.get(key, 0.0) + float(amount)
+
+    def value(self, **labels: Any) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return float(self._data.get(key, 0.0))
+
+
+class Gauge(_Instrument):
+    """A value that goes up and down (queue depth, pool occupancy, ...)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._data[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._data[key] = self._data.get(key, 0.0) + float(amount)
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return float(self._data.get(key, math.nan))
+
+
+class _HistogramState:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * n_buckets
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Instrument):
+    """Distribution of observations in fixed buckets (latencies, waits)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        edges = tuple(sorted(buckets)) if buckets else DEFAULT_BUCKETS
+        if edges[-1] != float("inf"):
+            edges = edges + (float("inf"),)
+        self.buckets = edges
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            state = self._data.get(key)
+            if state is None:
+                state = self._data[key] = _HistogramState(len(self.buckets))
+            for i, edge in enumerate(self.buckets):
+                if value <= edge:
+                    state.counts[i] += 1
+                    break
+            state.sum += float(value)
+            state.count += 1
+
+    def snapshot(self, **labels: Any) -> dict[str, Any]:
+        """``{count, sum, mean, buckets}`` for one label combination."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            state = self._data.get(key)
+            if state is None:
+                return {"count": 0, "sum": 0.0, "mean": math.nan, "buckets": {}}
+            return self._snapshot_locked(state)
+
+    def _snapshot_locked(self, state: _HistogramState) -> dict[str, Any]:
+        cumulative = 0
+        buckets = {}
+        for edge, n in zip(self.buckets, state.counts):
+            cumulative += n
+            buckets["+Inf" if edge == float("inf") else repr(edge)] = cumulative
+        mean = state.sum / state.count if state.count else math.nan
+        return {"count": state.count, "sum": state.sum, "mean": mean, "buckets": buckets}
+
+    def _value_repr(self, value: _HistogramState) -> Any:
+        return self._snapshot_locked(value)
+
+
+class MetricsRegistry:
+    """Named instruments, created once and shared by every publisher."""
+
+    #: instrumentation sites branch on this to skip publishing work.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _get_or_create(self, cls: type, name: str, *args: Any, **kwargs: Any) -> Any:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValidationError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            instrument = cls(name, *args, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labelnames, buckets)
+
+    def instruments(self) -> list[_Instrument]:
+        with self._lock:
+            return [self._instruments[name] for name in sorted(self._instruments)]
+
+    # -- export ----------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"metrics": [inst.to_dict() for inst in self.instruments()]}
+
+    def export_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, default=str) + "\n")
+        return path
+
+    def export_jsonl(self, path: str | Path) -> Path:
+        """One instrument per line (streaming-friendly variant)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [json.dumps(inst.to_dict(), default=str) for inst in self.instruments()]
+        path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return path
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (v0.0.4)."""
+        lines: list[str] = []
+        for inst in self.instruments():
+            if inst.help:
+                lines.append(f"# HELP {inst.name} {inst.help}")
+            lines.append(f"# TYPE {inst.name} {inst.kind}")
+            for key, value in inst._series():
+                labels = dict(zip(inst.labelnames, key))
+                if isinstance(inst, Histogram):
+                    snap = inst._snapshot_locked(value)
+                    for edge, cumulative in snap["buckets"].items():
+                        lines.append(
+                            f"{inst.name}_bucket{_fmt_labels({**labels, 'le': edge})}"
+                            f" {cumulative}"
+                        )
+                    lines.append(f"{inst.name}_sum{_fmt_labels(labels)} {snap['sum']}")
+                    lines.append(f"{inst.name}_count{_fmt_labels(labels)} {snap['count']}")
+                else:
+                    lines.append(f"{inst.name}{_fmt_labels(labels)} {value}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def export_prometheus(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render_prometheus())
+        return path
+
+
+def _fmt_labels(labels: dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class _NullInstrument:
+    """Accepts every instrument operation and keeps nothing."""
+
+    __slots__ = ()
+
+    name = "null"
+    kind = "null"
+    labelnames: tuple[str, ...] = ()
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        pass
+
+    def set(self, value: float, **labels: Any) -> None:
+        pass
+
+    def observe(self, value: float, **labels: Any) -> None:
+        pass
+
+    def value(self, **labels: Any) -> float:
+        return math.nan
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """The inert default: every instrument is the shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Any:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Any:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ) -> Any:
+        return _NULL_INSTRUMENT
+
+
+_default_registry: MetricsRegistry = NullRegistry()
+_default_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry (inert unless explicitly enabled)."""
+    return _default_registry
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` globally (``None`` restores the null); returns it."""
+    global _default_registry
+    with _default_lock:
+        _default_registry = registry if registry is not None else NullRegistry()
+        return _default_registry

@@ -1,0 +1,88 @@
+"""Per-trial cost attribution for the optimization cycle.
+
+Every trial's runtime decomposes into three components:
+
+- **suggest** — acquisition-function optimization plus the surrogate state
+  it reads (``SearchAlgorithm.suggest``);
+- **evaluate** — deploying and running the configuration (the trainable);
+- **tell** — feeding the observation back, which refits the surrogate
+  (``SearchAlgorithm.on_trial_complete``).
+
+The :class:`~repro.search.runner.TrialRunner` measures all three for every
+trial (a handful of clock reads — cheap enough to stay always-on) and
+stores them on :attr:`Trial.cost <repro.search.trial.Trial.cost>`;
+:func:`aggregate_costs` pools them into the campaign-level profile folded
+into the Phase III :class:`~repro.optimizer.summary.ReproducibilitySummary`,
+so a summary can explain where its own wall-clock went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+__all__ = ["CostBreakdown", "aggregate_costs", "COST_COMPONENTS"]
+
+#: component keys, in cycle order.
+COST_COMPONENTS = ("suggest_s", "evaluate_s", "tell_s")
+
+
+@dataclass
+class CostBreakdown:
+    """Pooled suggest/evaluate/tell seconds over a set of trials."""
+
+    suggest_s: float = 0.0
+    evaluate_s: float = 0.0
+    tell_s: float = 0.0
+    trials: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return self.suggest_s + self.evaluate_s + self.tell_s
+
+    def fractions(self) -> dict[str, float]:
+        total = self.total_s
+        if total <= 0:
+            return {key: 0.0 for key in COST_COMPONENTS}
+        return {
+            "suggest_s": self.suggest_s / total,
+            "evaluate_s": self.evaluate_s / total,
+            "tell_s": self.tell_s / total,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        per_trial = (
+            {key: getattr(self, key) / self.trials for key in COST_COMPONENTS}
+            if self.trials
+            else {}
+        )
+        return {
+            "trials": self.trials,
+            "total_s": self.total_s,
+            "suggest_s": self.suggest_s,
+            "evaluate_s": self.evaluate_s,
+            "tell_s": self.tell_s,
+            "fractions": self.fractions(),
+            "mean_per_trial": per_trial,
+        }
+
+    def __str__(self) -> str:
+        frac = self.fractions()
+        return (
+            f"{self.total_s:.3f}s over {self.trials} trials "
+            f"(suggest {frac['suggest_s']:.0%}, evaluate {frac['evaluate_s']:.0%}, "
+            f"tell {frac['tell_s']:.0%})"
+        )
+
+
+def aggregate_costs(costs: Iterable[Mapping[str, float]]) -> CostBreakdown:
+    """Pool per-trial ``cost`` dicts; entries without data are skipped."""
+    out = CostBreakdown()
+    for cost in costs:
+        if not cost:
+            continue
+        out.trials += 1
+        out.suggest_s += float(cost.get("suggest_s", 0.0))
+        out.evaluate_s += float(cost.get("evaluate_s", 0.0))
+        out.tell_s += float(cost.get("tell_s", 0.0))
+    return out

@@ -84,6 +84,10 @@ class OptimizerConf:
     repeat: int = 0
     duration: float | None = None
     workdir: str = ".repro-optimizations"
+    #: trace + meter the whole run and export ``spans.jsonl`` /
+    #: ``metrics.json`` / ``metrics.prom`` into the experiment directory
+    #: (the ``e2clab-repro optimize --trace`` switch).
+    observability: bool = False
 
     def __post_init__(self) -> None:
         if not self.variables:

@@ -18,7 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
+from repro import observability
 from repro.errors import OptimizationError
+from repro.observability.metrics import get_registry
+from repro.observability.trace import get_tracer
 from repro.optimizer.config import OptimizerConf
 from repro.optimizer.optimization import Optimization
 from repro.optimizer.summary import ReproducibilitySummary
@@ -108,13 +111,40 @@ class OptimizationManager:
             optimization._conf = conf
         self.optimization = optimization
 
+    @property
+    def run_dir(self) -> Any:
+        """Where this campaign's artifacts (and run report inputs) live."""
+        return self.optimization.archive.root
+
     def run(self) -> OptimizationOutcome:
-        """Phase II + III, then the optional repeat-validation campaign."""
-        summary = self.optimization.run()
-        outcome = OptimizationOutcome(summary=summary)
-        if self.conf.repeat > 0:
-            outcome = self.validate(summary.best_configuration, outcome=outcome)
-        return outcome
+        """Phase II + III, then the optional repeat-validation campaign.
+
+        With ``conf.observability`` set, a recording tracer and a live
+        metrics registry are installed for the duration of the run and the
+        resulting artifacts (``spans.jsonl``, ``metrics.json``,
+        ``metrics.prom``) are exported into the experiment directory, ready
+        for ``python -m repro report``.
+        """
+        observing = self.conf.observability
+        if observing:
+            observability.enable()
+        try:
+            tracer = get_tracer()
+            with tracer.span("phase:optimize"):
+                summary = self.optimization.run()
+            outcome = OptimizationOutcome(summary=summary)
+            if self.conf.repeat > 0:
+                with tracer.span("phase:validate", repeat=self.conf.repeat):
+                    outcome = self.validate(summary.best_configuration, outcome=outcome)
+            return outcome
+        finally:
+            if observing:
+                # Export even when the campaign failed: partial spans and
+                # metrics are exactly what debugging the failure needs.
+                try:
+                    self.optimization.export_observability()
+                finally:
+                    observability.disable()
 
     def validate(
         self,
@@ -134,10 +164,17 @@ class OptimizationManager:
         kwargs: dict[str, Any] = {}
         if self.conf.duration is not None:
             kwargs["duration"] = self.conf.duration
+        tracer = get_tracer()
+        registry = get_registry()
         for repetition in range(self.conf.repeat + 1):
-            metrics = self.optimization.launch(
-                dict(configuration), seed=base_seed + 1000 + repetition, **kwargs
-            )
+            with tracer.span(f"validation:rep{repetition}", seed=base_seed + 1000 + repetition):
+                metrics = self.optimization.launch(
+                    dict(configuration), seed=base_seed + 1000 + repetition, **kwargs
+                )
+            if registry.enabled:
+                registry.counter(
+                    "repro_validation_runs_total", "repeat-validation runs of the best config"
+                ).inc()
             runs.append(dict(metrics))
         pooled = mean_std([run[metric] for run in runs])
         if outcome is None:

@@ -24,6 +24,9 @@ from typing import Any, Mapping
 
 from repro.errors import OptimizationError
 from repro.experiments import EvaluationRecord, ExperimentArchive, ExperimentManifest
+from repro.observability import export as export_observability_artifacts
+from repro.observability.metrics import get_registry
+from repro.observability.trace import Tracer, get_tracer
 from repro.optimizer.problem import OptimizationProblem
 from repro.optimizer.summary import ReproducibilitySummary
 from repro.search.algos import ConcurrencyLimiter, SearchAlgorithm, SurrogateSearch
@@ -47,10 +50,13 @@ class Optimization(abc.ABC):
         workdir: str | Path = ".repro-optimizations",
         seed: int | None = None,
         description: str = "",
+        tracer: Tracer | None = None,
     ) -> None:
         self.problem = problem
         self.name = name
         self.seed = seed
+        #: explicit tracer, or ``None`` to follow the process-global one.
+        self._tracer = tracer
         manifest = ExperimentManifest(
             name=name,
             description=description,
@@ -60,6 +66,10 @@ class Optimization(abc.ABC):
         self.archive = ExperimentArchive(workdir, manifest)
         self._lock = threading.Lock()
         self._records: list[EvaluationRecord] = []
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
 
     # -- the optimization cycle hooks (Listing 1 lines 28-35) -------------------------
 
@@ -101,11 +111,29 @@ class Optimization(abc.ABC):
         return record
 
     def run_objective(self, config: Mapping[str, Any]) -> dict[str, float]:
-        """prepare → launch → finalize → report (Listing 1 lines 28-35)."""
-        directory = self.prepare()
-        metrics = dict(self.launch(config))
+        """prepare → launch → finalize → report (Listing 1 lines 28-35).
+
+        The three hooks map onto the optimization cycle's deploy, execute
+        and reconfigure steps, each traced as its own span (the fourth step,
+        *optimize*, is the runner's suggest/tell pair).
+        """
+        tracer = self.tracer
+        start = time.perf_counter()
+        with tracer.span("cycle:deploy"):
+            directory = self.prepare()
+        with tracer.span("cycle:execute"):
+            metrics = dict(self.launch(config))
         metrics[SCALAR_METRIC] = self.problem.scalarize(metrics)
-        self.finalize(directory, config, metrics)
+        with tracer.span("cycle:reconfigure"):
+            self.finalize(directory, config, metrics)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_evaluations_total", "model evaluations run"
+            ).inc()
+            registry.histogram(
+                "repro_evaluation_seconds", "wall seconds per model evaluation"
+            ).observe(time.perf_counter() - start)
         return metrics
 
     # -- the search (Listing 1 lines 5-26) ------------------------------------------------
@@ -156,6 +184,7 @@ class Optimization(abc.ABC):
         if max_concurrent is not None:
             search_alg = ConcurrencyLimiter(search_alg, max_concurrent)
 
+        tracer = self.tracer
         start = time.perf_counter()
         runner = TrialRunner(
             self.run_objective,
@@ -167,8 +196,13 @@ class Optimization(abc.ABC):
             executor=executor,
             max_workers=max_workers,
             name=self.name,
+            tracer=tracer,
+            # With tracing on, also drop the one-line-per-trial log next to
+            # the other artifacts so the run report can render a trial table.
+            log_dir=str(self.archive.root) if tracer.enabled else None,
         )
-        analysis = runner.run()
+        with tracer.span(f"experiment:{self.name}", executor=executor):
+            analysis = runner.run()
         wall = time.perf_counter() - start
         summary = self.summarize(
             analysis,
@@ -176,9 +210,19 @@ class Optimization(abc.ABC):
             sampling_info=sampling_info or {},
             wall_clock_s=wall,
         )
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("repro_best_value", "incumbent objective value").set(
+                summary.best_value
+            )
         with self._lock:
             self.archive.store_summary(summary.to_dict())
+        self.export_observability()
         return summary
+
+    def export_observability(self) -> list[Path]:
+        """Write spans/metrics artifacts into the archive root, if enabled."""
+        return export_observability_artifacts(self.archive.root)
 
     # -- Phase III --------------------------------------------------------------------------
 
@@ -205,15 +249,18 @@ class Optimization(abc.ABC):
                     "value": value,
                 }
             )
-        if not values:
+        # NaN scores (early-stopped trials without an intermediate report)
+        # stay in `evaluations` for completeness but cannot win or converge.
+        finite = [(i, v) for i, v in enumerate(values) if v == v]
+        if not finite:
             raise OptimizationError("no successful evaluations to summarize")
-        best_value = min(values)
-        best_idx = values.index(best_value)
+        best_idx, best_value = min(finite, key=lambda iv: iv[1])
         # Convergence: first evaluation whose incumbent equals the final best.
         convergence = next(
-            i + 1 for i, v in enumerate(values) if v <= best_value + 1e-12
+            i + 1 for i, v in finite if v <= best_value + 1e-12
         )
         return ReproducibilitySummary(
+            cost_profile=analysis.cost_profile().to_dict(),
             problem=self.problem.describe(),
             sampling=sampling_info,
             algorithm=algorithm_info,

@@ -15,7 +15,7 @@ An :class:`OptimizationProblem` is
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 from repro.bayesopt.space import Space

@@ -36,6 +36,10 @@ class ReproducibilitySummary:
     wall_clock_s: float = 0.0
     #: how many evaluations were needed until the incumbent stopped improving.
     convergence_evaluation: int | None = None
+    #: where the campaign's time went: pooled suggest/evaluate/tell seconds
+    #: (see :mod:`repro.observability.profile`) — a summary that explains
+    #: its own cost.
+    cost_profile: dict[str, Any] = field(default_factory=dict)
 
     @property
     def n_evaluations(self) -> int:
@@ -51,6 +55,7 @@ class ReproducibilitySummary:
             "best_value": self.best_value,
             "wall_clock_s": self.wall_clock_s,
             "convergence_evaluation": self.convergence_evaluation,
+            "cost_profile": dict(self.cost_profile),
         }
 
     def render(self) -> str:
@@ -69,6 +74,17 @@ class ReproducibilitySummary:
             )
         )
         lines.append(f"wall clock:   {self.wall_clock_s:.2f} s")
+        if self.cost_profile:
+            fractions = self.cost_profile.get("fractions", {})
+            lines.append(
+                "cost profile: "
+                f"suggest {self.cost_profile.get('suggest_s', 0.0):.3f} s "
+                f"({fractions.get('suggest_s', 0.0):.0%}) | "
+                f"evaluate {self.cost_profile.get('evaluate_s', 0.0):.3f} s "
+                f"({fractions.get('evaluate_s', 0.0):.0%}) | "
+                f"tell {self.cost_profile.get('tell_s', 0.0):.3f} s "
+                f"({fractions.get('tell_s', 0.0):.0%})"
+            )
         lines.append(f"best value:   {self.best_value:.6g}")
         table = Table(["variable", "best value"], title="best configuration")
         for key, value in self.best_configuration.items():

@@ -8,7 +8,6 @@ resource claim) and the client fleet that submits requests.
 
 from __future__ import annotations
 
-from typing import Any
 
 from repro.errors import DeploymentError
 from repro.engine.config import ThreadPoolConfig

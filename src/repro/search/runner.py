@@ -28,6 +28,8 @@ from typing import Any, Callable, Optional
 
 from repro.bayesopt.space import Space
 from repro.errors import TrialError, ValidationError
+from repro.observability.profile import CostBreakdown, aggregate_costs
+from repro.observability.trace import Tracer, get_tracer
 from repro.search.algos import SearchAlgorithm, SurrogateSearch
 from repro.search.schedulers import FIFOScheduler, TrialDecision, TrialScheduler
 from repro.search.trial import Reporter, StopTrial, Trial, TrialStatus
@@ -90,12 +92,21 @@ class ExperimentAnalysis:
         return [t.to_dict() for t in self.trials]
 
     def objective_history(self) -> list[float]:
-        """Objective values in completion order (for convergence plots)."""
+        """Objective values in completion order (for convergence plots).
+
+        NaN entries are skipped: an early-stopped trial that never produced
+        an intermediate report scores NaN, which would otherwise poison the
+        running-incumbent computation of a convergence plot.
+        """
         return [
             t.result[self.metric]
             for t in self.trials
-            if self.metric in t.result
+            if self.metric in t.result and t.result[self.metric] == t.result[self.metric]
         ]
+
+    def cost_profile(self) -> CostBreakdown:
+        """Pooled suggest/evaluate/tell cost over all trials."""
+        return aggregate_costs(t.cost for t in self.trials)
 
     def __str__(self) -> str:
         return (
@@ -121,6 +132,7 @@ class TrialRunner:
         name: str = "experiment",
         raise_on_failed_trial: bool = False,
         log_dir: str | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if mode not in ("min", "max"):
             raise ValidationError("mode must be 'min' or 'max'")
@@ -142,6 +154,9 @@ class TrialRunner:
         self.max_workers = int(max_workers)
         self.name = name
         self.raise_on_failed_trial = raise_on_failed_trial
+        self._tracer = tracer if tracer is not None else get_tracer()
+        #: open per-trial spans, for cross-thread parenting (trial_id → Span).
+        self._trial_spans: dict[str, Any] = {}
         self._lock = threading.Lock()
         self._log_path = None
         if log_dir is not None:
@@ -151,6 +166,54 @@ class TrialRunner:
             directory.mkdir(parents=True, exist_ok=True)
             self._log_path = directory / f"{name}.jsonl"
             self._log_path.write_text("")  # truncate previous runs
+
+    # -- observability hooks ---------------------------------------------------------
+
+    def _suggest(self, trial_id: str) -> tuple[Optional[dict[str, Any]], float]:
+        """Time one ``suggest`` call (acquisition + surrogate read)."""
+        start = time.perf_counter()
+        config = self.search_alg.suggest(trial_id)
+        return config, time.perf_counter() - start
+
+    def _open_trial(self, trial: Trial, suggest_s: float) -> None:
+        """Record the suggest cost; open the trial span if tracing."""
+        trial.cost["suggest_s"] = suggest_s
+        tracer = self._tracer
+        if not tracer.enabled:
+            return
+        now = tracer.clock()
+        span = tracer.start_span(
+            f"trial:{trial.trial_id}", start=now - suggest_s, trial_id=trial.trial_id
+        )
+        with self._lock:
+            self._trial_spans[trial.trial_id] = span
+        child = tracer.start_span("suggest", parent=span, start=now - suggest_s)
+        tracer.end_span(child)
+
+    def _close_trial(self, trial: Trial) -> None:
+        tracer = self._tracer
+        if not tracer.enabled:
+            return
+        with self._lock:
+            span = self._trial_spans.pop(trial.trial_id, None)
+        if span is not None:
+            span.set("status", trial.status.value)
+            if self.metric in trial.result:
+                span.set(self.metric, trial.result[self.metric])
+            tracer.end_span(span, error=trial.error)
+
+    def _record_execute_span(self, trial: Trial, duration_s: float) -> None:
+        """Emit the execute child span, backdated by the measured duration."""
+        tracer = self._tracer
+        if not tracer.enabled:
+            return
+        with self._lock:
+            parent = self._trial_spans.get(trial.trial_id)
+        span = tracer.start_span(
+            "execute", parent=parent, start=tracer.clock() - duration_s
+        )
+        span.set("status", trial.status.value)
+        tracer.end_span(span, error=trial.error)
 
     # -- single-trial execution -----------------------------------------------------
 
@@ -183,6 +246,8 @@ class TrialRunner:
             trial.error = f"{type(exc).__name__}: {exc}"
             trial.status = TrialStatus.ERROR
         trial.runtime_s = time.perf_counter() - start
+        trial.cost["evaluate_s"] = trial.runtime_s
+        self._record_execute_span(trial, trial.runtime_s)
 
     def _on_report(self, trial: Trial, step: int, value: float) -> bool:
         decision = self.scheduler.on_result(trial, step, value)
@@ -199,16 +264,29 @@ class TrialRunner:
                 handle.write(json.dumps(trial.to_dict()) + "\n")
 
     def _after_trial(self, trial: Trial) -> None:
-        self._log_trial(trial)
         self.scheduler.on_complete(trial)
-        if trial.status is TrialStatus.ERROR:
-            self.search_alg.on_trial_error(trial.trial_id, trial.config)
-            if self.raise_on_failed_trial:
-                raise TrialError(trial.error or "trial failed", trial_id=trial.trial_id)
-            return
-        value = trial.result.get(self.metric)
-        if value is not None and value == value:  # not NaN
-            self.search_alg.on_trial_complete(trial.trial_id, trial.config, value)
+        try:
+            if trial.status is TrialStatus.ERROR:
+                self.search_alg.on_trial_error(trial.trial_id, trial.config)
+                if self.raise_on_failed_trial:
+                    raise TrialError(trial.error or "trial failed", trial_id=trial.trial_id)
+                return
+            value = trial.result.get(self.metric)
+            if value is not None and value == value:  # not NaN
+                start = time.perf_counter()
+                self.search_alg.on_trial_complete(trial.trial_id, trial.config, value)
+                trial.cost["tell_s"] = time.perf_counter() - start
+                tracer = self._tracer
+                if tracer.enabled:
+                    with self._lock:
+                        parent = self._trial_spans.get(trial.trial_id)
+                    span = tracer.start_span(
+                        "tell", parent=parent, start=tracer.clock() - trial.cost["tell_s"]
+                    )
+                    tracer.end_span(span)
+        finally:
+            self._close_trial(trial)
+            self._log_trial(trial)
 
     # -- main loop --------------------------------------------------------------------
 
@@ -219,10 +297,11 @@ class TrialRunner:
             created = 0
             while created < self.num_samples:
                 trial_id = f"{self.name}_{created:05d}"
-                config = self.search_alg.suggest(trial_id)
+                config, suggest_s = self._suggest(trial_id)
                 if config is None:
                     break  # exhausted (grid) — with sync there is nothing pending
                 trial = Trial(trial_id=trial_id, config=config)
+                self._open_trial(trial, suggest_s)
                 trials.append(trial)
                 created += 1
                 self._execute_inline(trial)
@@ -238,12 +317,13 @@ class TrialRunner:
                 # Submit as many trials as the searcher will give us.
                 while not exhausted and created < self.num_samples:
                     trial_id = f"{self.name}_{created:05d}"
-                    config = self.search_alg.suggest(trial_id)
+                    config, suggest_s = self._suggest(trial_id)
                     if config is None:
                         if not futures:
                             exhausted = True  # nothing pending → truly done
                         break
                     trial = Trial(trial_id=trial_id, config=config)
+                    self._open_trial(trial, suggest_s)
                     trials.append(trial)
                     created += 1
                     futures[self._submit(pool, trial)] = trial
@@ -281,6 +361,10 @@ class TrialRunner:
             trial.error = f"{type(exc).__name__}: {exc}"
             trial.status = TrialStatus.ERROR
         trial.runtime_s = time.perf_counter() - getattr(trial, "_start", time.perf_counter())
+        # Includes the executor queue wait: across a process boundary only the
+        # submit→collect wall is observable.
+        trial.cost["evaluate_s"] = trial.runtime_s
+        self._record_execute_span(trial, trial.runtime_s)
 
     def _analysis(self, trials: list[Trial], start: float) -> ExperimentAnalysis:
         return ExperimentAnalysis(

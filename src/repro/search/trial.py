@@ -35,6 +35,9 @@ class Trial:
     intermediate: list[tuple[int, float]] = field(default_factory=list)
     error: Optional[str] = None
     runtime_s: float = 0.0
+    #: cycle-cost attribution filled by the runner: ``suggest_s`` /
+    #: ``evaluate_s`` / ``tell_s`` seconds (see repro.observability.profile).
+    cost: dict[str, float] = field(default_factory=dict)
 
     @property
     def last_step(self) -> int:
@@ -58,6 +61,7 @@ class Trial:
             "intermediate": list(self.intermediate),
             "error": self.error,
             "runtime_s": self.runtime_s,
+            "cost": dict(self.cost),
         }
 
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Type
+from typing import Iterator, Type
 
 from repro.errors import ValidationError
 from repro.services.base import Service

@@ -42,7 +42,7 @@ from repro.simcore.events import (
     all_of,
     any_of,
 )
-from repro.simcore.core import Environment, StopSimulation
+from repro.simcore.core import Environment, LoopStats, StopSimulation
 from repro.simcore.resources import (
     Container,
     PriorityResource,
@@ -54,6 +54,7 @@ from repro.simcore.resources import (
 
 __all__ = [
     "Environment",
+    "LoopStats",
     "StopSimulation",
     "Event",
     "Timeout",

@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Generator, Optional
 
 from repro.errors import SimulationError
 from repro.simcore.events import NORMAL, Event, Process, Timeout
 
-__all__ = ["Environment", "StopSimulation", "EmptySchedule"]
+__all__ = ["Environment", "LoopStats", "StopSimulation", "EmptySchedule"]
 
 
 class StopSimulation(Exception):
@@ -17,6 +18,37 @@ class StopSimulation(Exception):
 
 class EmptySchedule(Exception):
     """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class LoopStats:
+    """Event-loop statistics, collected only when explicitly enabled.
+
+    The observability layer uses these to characterize a DES run: how many
+    events the loop processed, how deep the heap got, and how much faster
+    than real time the simulation ran (``sim/wall`` ratio).
+    """
+
+    __slots__ = ("events_processed", "max_queue_depth", "wall_s", "sim_start", "_wall_start")
+
+    def __init__(self, sim_start: float = 0.0) -> None:
+        self.events_processed = 0
+        self.max_queue_depth = 0
+        #: wall seconds spent inside :meth:`Environment.run` so far.
+        self.wall_s = 0.0
+        self.sim_start = sim_start
+        self._wall_start: Optional[float] = None
+
+    def snapshot(self, now: float) -> dict[str, float]:
+        """Current stats plus the simulated-vs-wall speed ratio."""
+        sim_advanced = now - self.sim_start
+        ratio = sim_advanced / self.wall_s if self.wall_s > 0 else float("inf")
+        return {
+            "events_processed": self.events_processed,
+            "max_queue_depth": self.max_queue_depth,
+            "wall_s": self.wall_s,
+            "sim_advanced": sim_advanced,
+            "sim_wall_ratio": ratio,
+        }
 
 
 class Environment:
@@ -34,6 +66,18 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        self._stats: Optional[LoopStats] = None
+
+    @property
+    def stats(self) -> Optional[LoopStats]:
+        """Loop statistics, or ``None`` unless :meth:`enable_stats` was called."""
+        return self._stats
+
+    def enable_stats(self) -> LoopStats:
+        """Start collecting event-loop statistics (one branch per event)."""
+        if self._stats is None:
+            self._stats = LoopStats(sim_start=self._now)
+        return self._stats
 
     @property
     def now(self) -> float:
@@ -64,6 +108,12 @@ class Environment:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+        stats = self._stats
+        if stats is not None:
+            stats.events_processed += 1
+            depth = len(self._queue) + 1
+            if depth > stats.max_queue_depth:
+                stats.max_queue_depth = depth
 
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - defensive
@@ -123,6 +173,7 @@ class Environment:
                 heapq.heappush(self._queue, (at, -1, self._eid, stop))
             stop.callbacks.append(_stop_callback)
 
+        wall_start = time.perf_counter() if self._stats is not None else 0.0
         try:
             while True:
                 try:
@@ -131,6 +182,9 @@ class Environment:
                     break
         except StopSimulation as signal:
             return signal.args[0] if signal.args else None
+        finally:
+            if self._stats is not None:
+                self._stats.wall_s += time.perf_counter() - wall_start
 
         if stop is not None and isinstance(until, Event) and not stop.triggered:
             raise SimulationError(

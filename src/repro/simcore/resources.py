@@ -15,9 +15,8 @@ can compute exact windowed occupancy from integral deltas.
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any
 
-from repro.errors import SimulationError
 from repro.simcore.events import URGENT, Event
 from repro.utils.stats import RunningStats
 

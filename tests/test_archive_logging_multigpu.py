@@ -1,7 +1,6 @@
 """Tests for archive packing, trial logging, and multi-GPU engine nodes."""
 
 import json
-from pathlib import Path
 
 import pytest
 

@@ -5,7 +5,6 @@ import pytest
 from repro.engine import (
     AnalyticEngineModel,
     BASELINE_CONFIG,
-    EngineModelParams,
     ThreadPoolConfig,
     simulate_engine,
 )

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.engine import AnalyticEngineModel, ThreadPoolConfig
-from repro.errors import OptimizationError, ValidationError
+from repro.errors import ValidationError
 from repro.optimizer import DecomposedOptimization
 from repro.plantnet import BASELINE, REFINED_OPTIMUM, ScaleOutScenario, paper_problem
 

@@ -28,6 +28,11 @@ def _objective(config):
     return (config["a"] - 21) ** 2 + (config["b"] - 4) ** 2
 
 
+def _failing_objective(config):
+    """Module-level (picklable) trainable that always blows up."""
+    raise RuntimeError(f"boom at a={config['a']}")
+
+
 class TestSearchAlgorithms:
     def test_random_search_in_bounds(self):
         alg = RandomSearch(_space(), seed=0)
@@ -155,6 +160,63 @@ class TestRunner:
     def test_space_or_search_alg_required(self):
         with pytest.raises(ValidationError):
             run(_objective, metric="loss", num_samples=2)
+
+    def test_process_executor_error_path(self):
+        """_collect must record the failure on the trial, not raise."""
+        analysis = run(
+            _failing_objective,
+            search_alg=RandomSearch(_space(), seed=0),
+            metric="loss",
+            num_samples=3,
+            executor="process",
+            max_workers=2,
+        )
+        assert len(analysis.trials) == 3
+        for trial in analysis.trials:
+            assert trial.status is TrialStatus.ERROR
+            assert trial.error is not None and "boom" in trial.error
+            assert trial.runtime_s >= 0.0
+            assert trial.result == {}
+        with pytest.raises(TrialError):
+            _ = analysis.best_trial
+
+    def test_process_executor_success_sets_runtime(self):
+        analysis = run(
+            _objective,
+            search_alg=RandomSearch(_space(), seed=1),
+            metric="loss",
+            num_samples=4,
+            executor="process",
+            max_workers=2,
+        )
+        assert all(t.status is TrialStatus.TERMINATED for t in analysis.trials)
+        assert all(t.runtime_s >= 0.0 for t in analysis.trials)
+
+    def test_log_dir_jsonl_thread_executor(self, tmp_path):
+        """One valid JSON line per trial, even with concurrent writers."""
+        import json
+
+        analysis = run(
+            _objective,
+            space=_space(),
+            metric="loss",
+            num_samples=8,
+            executor="thread",
+            max_workers=4,
+            seed=2,
+            name="logged",
+            log_dir=str(tmp_path),
+        )
+        log_path = tmp_path / "logged.jsonl"
+        assert log_path.exists()
+        lines = [line for line in log_path.read_text().splitlines() if line.strip()]
+        assert len(lines) == len(analysis.trials) == 8
+        records = [json.loads(line) for line in lines]  # every line parses alone
+        assert {r["trial_id"] for r in records} == {t.trial_id for t in analysis.trials}
+        for record in records:
+            assert record["status"] == "terminated"
+            assert "loss" in record["result"]
+            assert "cost" in record and "evaluate_s" in record["cost"]
 
 
 class TestSchedulers:

@@ -1,6 +1,5 @@
 """Tests for open-loop and scheduled workload modes."""
 
-import numpy as np
 import pytest
 
 from repro.engine import BASELINE_CONFIG, IdentificationEngine, WorkloadSpec
