@@ -2,10 +2,13 @@
 
 Subcommands::
 
-    e2clab-repro optimize CONF.json [--repeat N] [--duration S]
+    e2clab-repro optimize [CONF.json] [--repeat N] [--duration S]
+                          [--resume RUN_DIR]
         Run a full optimization campaign from an optimizer_conf file
         against the Pl@ntNet scenario (the paper's `e2clab optimize
-        --repeat 6 --duration 1380 ...` workflow).
+        --repeat 6 --duration 1380 ...` workflow). With ``--resume`` an
+        interrupted campaign continues from its checkpoint: finished
+        trials are replayed into the searcher instead of re-executed.
 
     e2clab-repro scenario [--config baseline|preliminary|refined]
                           [--requests N] [--duration S] [--repetitions K]
@@ -59,13 +62,25 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_opt = sub.add_parser("optimize", help="run an optimizer_conf campaign")
-    p_opt.add_argument("conf", help="path to the optimizer_conf JSON file")
+    p_opt.add_argument(
+        "conf",
+        nargs="?",
+        default=None,
+        help="path to the optimizer_conf JSON file (optional with --resume)",
+    )
     p_opt.add_argument("--repeat", type=int, default=None, help="extra validation runs of the best config")
     p_opt.add_argument("--duration", type=float, default=None, help="validation run duration (simulated seconds)")
     p_opt.add_argument(
         "--trace",
         action="store_true",
         help="record spans + metrics and export them into the experiment directory",
+    )
+    p_opt.add_argument(
+        "--resume",
+        metavar="RUN_DIR",
+        default=None,
+        help="resume an interrupted campaign from its experiment directory "
+        "(finished trials are replayed from checkpoint.json, not re-run)",
     )
 
     p_sc = sub.add_parser("scenario", help="run one Pl@ntNet configuration")
@@ -96,7 +111,21 @@ def _parse_config(text: str) -> ThreadPoolConfig:
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
-    conf = OptimizerConf.from_json(args.conf)
+    from pathlib import Path
+
+    from repro.utils.serialization import dump_json
+
+    if args.conf is not None:
+        conf = OptimizerConf.from_json(args.conf)
+    elif args.resume is not None:
+        saved = Path(args.resume) / "optimizer_conf.json"
+        if not saved.exists():
+            raise SystemExit(
+                f"--resume without CONF needs {saved} (written by the original run)"
+            )
+        conf = OptimizerConf.from_json(saved)
+    else:
+        raise SystemExit("optimize needs a CONF file or --resume RUN_DIR")
     if args.repeat is not None:
         conf.repeat = args.repeat
     if args.duration is not None:
@@ -109,7 +138,11 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     def evaluator(config: dict, seed: int | None = None, duration: float | None = None):
         return scenario.evaluate(config, seed=seed, duration=duration)
 
-    manager = OptimizationManager(conf, evaluator=evaluator)
+    manager = OptimizationManager(conf, evaluator=evaluator, resume_from=args.resume)
+    if args.resume is None:
+        # Save the conf next to the artifacts so `--resume RUN_DIR` can
+        # rebuild the campaign without the original file.
+        dump_json(conf.to_dict(), Path(manager.run_dir) / "optimizer_conf.json")
     outcome = manager.run()
     print(outcome.summary.render())
     if outcome.validation is not None:

@@ -20,6 +20,14 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class WallClockTimeout(SimulationError):
+    """A simulation exceeded its wall-clock budget (a hung/runaway DES)."""
+
+
+class FaultError(ReproError):
+    """An injected (or detected) testbed fault surfaced during evaluation."""
+
+
 class DeploymentError(ReproError):
     """A service could not be deployed on the simulated testbed."""
 
@@ -37,8 +45,14 @@ class ConvergenceWarning(UserWarning):
 
 
 class TrialError(ReproError):
-    """A trial (one objective evaluation) raised inside the trial runner."""
+    """A trial (one objective evaluation) raised inside the trial runner.
+
+    When ``raise_on_failed_trial`` aborts a campaign mid-drain, the runner
+    attaches the partial :class:`~repro.search.runner.ExperimentAnalysis`
+    as :attr:`analysis` so completed work is not lost to the caller.
+    """
 
     def __init__(self, message: str, *, trial_id: str | None = None) -> None:
         super().__init__(message)
         self.trial_id = trial_id
+        self.analysis = None

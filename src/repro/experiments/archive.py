@@ -74,6 +74,25 @@ class ExperimentArchive:
         """Persist the Phase III summary at the archive root."""
         return dump_json(summary, self.root / "summary.json")
 
+    # -- campaign checkpoints (fault-tolerant resume) ----------------------------------
+
+    def store_checkpoint(self, records: list[dict[str, Any]]) -> Path:
+        """Persist the finished-trial state for ``--resume``.
+
+        The full list is rewritten each time (trial records are small JSON
+        dicts), which keeps the checkpoint atomic at the file level: a resume
+        sees either the previous complete state or the new one.
+        """
+        return dump_json({"trials": records}, self.root / "checkpoint.json")
+
+    def load_checkpoint(self) -> list[dict[str, Any]]:
+        """Finished-trial records from the last checkpoint (empty if none)."""
+        path = self.root / "checkpoint.json"
+        if not path.exists():
+            return []
+        data = load_json(path)
+        return list(data.get("trials", []))
+
     # -- packing ("E2Clab provides an archive of the generated data") ------------------
 
     def pack(self, destination: str | Path | None = None) -> Path:

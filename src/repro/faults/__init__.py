@@ -1,0 +1,20 @@
+"""Fault tolerance: deterministic fault injection and attempt context."""
+
+from repro.faults.context import current_attempt, set_current_attempt
+from repro.faults.injector import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    NodeCrashFault,
+    TransientFault,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSpec",
+    "NodeCrashFault",
+    "TransientFault",
+    "current_attempt",
+    "set_current_attempt",
+]

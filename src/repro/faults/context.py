@@ -1,0 +1,28 @@
+"""Per-attempt execution context shared between the runner and injectors.
+
+The trial runner retries failed/hung trials; each attempt must be
+distinguishable so stochastic components (most importantly the
+:class:`~repro.faults.injector.FaultInjector`) draw a *fresh* deterministic
+stream per attempt instead of replaying the exact failure. The attempt
+index travels through a thread-local rather than through the trainable's
+signature, so existing trainables need no change; for the process executor
+the worker-side entry point re-installs it inside the worker process.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["current_attempt", "set_current_attempt"]
+
+_state = threading.local()
+
+
+def set_current_attempt(attempt: int) -> None:
+    """Record the retry attempt index (0 = first try) for this thread."""
+    _state.attempt = int(attempt)
+
+
+def current_attempt() -> int:
+    """The retry attempt index of the trial executing on this thread."""
+    return getattr(_state, "attempt", 0)

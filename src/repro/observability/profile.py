@@ -35,6 +35,9 @@ class CostBreakdown:
     evaluate_s: float = 0.0
     tell_s: float = 0.0
     trials: int = 0
+    #: fault-tolerance tallies: attempts retried / attempts timed out.
+    retries: int = 0
+    timeouts: int = 0
 
     @property
     def total_s(self) -> float:
@@ -62,6 +65,8 @@ class CostBreakdown:
             "suggest_s": self.suggest_s,
             "evaluate_s": self.evaluate_s,
             "tell_s": self.tell_s,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
             "fractions": self.fractions(),
             "mean_per_trial": per_trial,
         }
@@ -85,4 +90,6 @@ def aggregate_costs(costs: Iterable[Mapping[str, float]]) -> CostBreakdown:
         out.suggest_s += float(cost.get("suggest_s", 0.0))
         out.evaluate_s += float(cost.get("evaluate_s", 0.0))
         out.tell_s += float(cost.get("tell_s", 0.0))
+        out.retries += int(cost.get("retries", 0))
+        out.timeouts += int(cost.get("timeouts", 0))
     return out

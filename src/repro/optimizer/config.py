@@ -37,6 +37,7 @@ from typing import Any, Mapping
 
 from repro.bayesopt.space import Categorical, Dimension, Integer, Real, Space
 from repro.errors import ValidationError
+from repro.faults import FaultInjector, FaultSpec
 from repro.optimizer.problem import MetricConstraint, Objective, OptimizationProblem
 from repro.search.algos import SearchAlgorithm, SurrogateSearch
 from repro.search.schedulers import AsyncHyperBandScheduler, FIFOScheduler, TrialScheduler
@@ -88,6 +89,18 @@ class OptimizerConf:
     #: ``metrics.json`` / ``metrics.prom`` into the experiment directory
     #: (the ``e2clab-repro optimize --trace`` switch).
     observability: bool = False
+    #: fault tolerance — how many times a failed/hung trial is retried
+    #: before surrendering to the search algorithm's ``on_trial_error``.
+    max_retries: int = 0
+    #: base of the exponential backoff between retry attempts (seconds).
+    retry_backoff_s: float = 0.0
+    #: per-trial wall-clock timeout in seconds (``None`` disables).
+    trial_timeout_s: float | None = None
+    #: persist campaign state every N completed trials (``--resume`` input).
+    checkpoint_every: int = 1
+    #: deterministic fault-injection rates (see ``repro.faults.FaultSpec``),
+    #: e.g. ``{"transient": 0.2, "straggler": 0.1}``. Empty disables.
+    faults: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.variables:
@@ -98,6 +111,16 @@ class OptimizerConf:
             raise ValidationError("num_samples must be >= 1")
         if self.repeat < 0:
             raise ValidationError("repeat must be >= 0")
+        if self.max_retries < 0:
+            raise ValidationError("max_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ValidationError("retry_backoff_s must be >= 0")
+        if self.trial_timeout_s is not None and self.trial_timeout_s <= 0:
+            raise ValidationError("trial_timeout_s must be > 0")
+        if self.checkpoint_every < 1:
+            raise ValidationError("checkpoint_every must be >= 1")
+        if self.faults:
+            self.build_fault_injector()  # validate rates early
 
     # -- constructors ----------------------------------------------------------------
 
@@ -112,6 +135,16 @@ class OptimizerConf:
     @classmethod
     def from_json(cls, path: str | Path) -> "OptimizerConf":
         return cls.from_dict(load_json(path))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form, round-trippable through :meth:`from_dict`.
+
+        Saved next to the archive on fresh runs so ``--resume`` can rebuild
+        the exact campaign without the user re-passing the conf file.
+        """
+        import dataclasses
+
+        return dataclasses.asdict(self)
 
     # -- builders ---------------------------------------------------------------------
 
@@ -158,6 +191,14 @@ class OptimizerConf:
         if kind in ("asha", "async_hyperband", "asynchyperband"):
             return AsyncHyperBandScheduler(mode="min", **sched)
         raise ValidationError(f"unknown scheduler {kind!r}")
+
+    def build_fault_injector(self) -> FaultInjector | None:
+        """A deterministic fault injector for the declared rates, or ``None``."""
+        if not self.faults:
+            return None
+        spec = dict(self.faults)
+        spec.setdefault("seed", self.seed or 0)
+        return FaultInjector(FaultSpec.from_dict(spec))
 
     def algorithm_info(self) -> dict[str, Any]:
         info = {"search": self.algorithm.get("search", "surrogate")}

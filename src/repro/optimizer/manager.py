@@ -15,6 +15,7 @@ repeats the best configuration for the paper's validation protocol
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
@@ -43,6 +44,7 @@ class CallableOptimization(Optimization):
         super().__init__(problem, **kwargs)
         self._evaluator = evaluator
         self._conf: OptimizerConf | None = None
+        self._resume = False
 
     def launch(self, config: Mapping[str, Any], **kwargs: Any) -> dict[str, float]:
         return dict(self._evaluator(dict(config), **kwargs))
@@ -68,6 +70,11 @@ class CallableOptimization(Optimization):
             max_workers=conf.max_workers,
             algorithm_info=conf.algorithm_info(),
             sampling_info=conf.sampling_info(),
+            max_retries=conf.max_retries,
+            retry_backoff_s=conf.retry_backoff_s,
+            trial_timeout_s=conf.trial_timeout_s,
+            resume=self._resume,
+            checkpoint_every=conf.checkpoint_every,
         )
 
 
@@ -94,12 +101,17 @@ class OptimizationManager:
         *,
         optimization: Optimization | None = None,
         evaluator: Evaluator | None = None,
+        resume_from: Any = None,
     ) -> None:
         if (optimization is None) == (evaluator is None):
             raise OptimizationError("pass exactly one of optimization= or evaluator=")
         self.conf = conf
         if optimization is None:
             assert evaluator is not None
+            injector = conf.build_fault_injector()
+            if injector is not None:
+                evaluator = injector.wrap(evaluator)
+            self.fault_injector = injector
             problem = conf.build_problem()
             optimization = CallableOptimization(
                 problem,
@@ -107,8 +119,17 @@ class OptimizationManager:
                 name=conf.name,
                 workdir=conf.workdir,
                 seed=conf.seed,
+                resume_dir=resume_from,
             )
             optimization._conf = conf
+            optimization._resume = resume_from is not None
+        else:
+            self.fault_injector = None
+            if resume_from is not None:
+                raise OptimizationError(
+                    "resume_from= requires an evaluator-backed manager; pass the "
+                    "archive to your Optimization subclass via resume_dir= instead"
+                )
         self.optimization = optimization
 
     @property
@@ -166,6 +187,7 @@ class OptimizationManager:
             kwargs["duration"] = self.conf.duration
         tracer = get_tracer()
         registry = get_registry()
+        start = time.perf_counter()
         for repetition in range(self.conf.repeat + 1):
             with tracer.span(f"validation:rep{repetition}", seed=base_seed + 1000 + repetition):
                 metrics = self.optimization.launch(
@@ -178,7 +200,26 @@ class OptimizationManager:
             runs.append(dict(metrics))
         pooled = mean_std([run[metric] for run in runs])
         if outcome is None:
-            outcome = OptimizationOutcome(summary=self.optimization.run())
+            # Standalone validation of a known-good configuration: summarize
+            # the validation runs themselves. (This used to launch a whole
+            # fresh optimization campaign just to build a summary object.)
+            summary = ReproducibilitySummary(
+                problem=self.optimization.problem.describe(),
+                sampling={},
+                algorithm={"search": "validation"},
+                evaluations=[
+                    {
+                        "configuration": dict(configuration),
+                        "metrics": dict(run),
+                        "value": run[metric],
+                    }
+                    for run in runs
+                ],
+                best_configuration=dict(configuration),
+                best_value=pooled.mean,
+                wall_clock_s=time.perf_counter() - start,
+            )
+            outcome = OptimizationOutcome(summary=summary)
         outcome.validation = pooled
         outcome.validation_runs = runs
         return outcome

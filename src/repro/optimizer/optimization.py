@@ -51,19 +51,28 @@ class Optimization(abc.ABC):
         seed: int | None = None,
         description: str = "",
         tracer: Tracer | None = None,
+        resume_dir: str | Path | None = None,
     ) -> None:
         self.problem = problem
         self.name = name
         self.seed = seed
         #: explicit tracer, or ``None`` to follow the process-global one.
         self._tracer = tracer
-        manifest = ExperimentManifest(
-            name=name,
-            description=description,
-            seed=seed,
-            parameters={"problem": problem.describe()},
-        )
-        self.archive = ExperimentArchive(workdir, manifest)
+        if resume_dir is not None:
+            # Re-open the interrupted campaign's archive: keeps the manifest
+            # and the evaluation counter, so new evaluations continue the
+            # optimization-<k> numbering instead of colliding.
+            path = Path(resume_dir)
+            self.archive = ExperimentArchive.open(path.parent, path.name)
+            self.name = self.archive.manifest.name
+        else:
+            manifest = ExperimentManifest(
+                name=name,
+                description=description,
+                seed=seed,
+                parameters={"problem": problem.describe()},
+            )
+            self.archive = ExperimentArchive(workdir, manifest)
         self._lock = threading.Lock()
         self._records: list[EvaluationRecord] = []
 
@@ -153,12 +162,19 @@ class Optimization(abc.ABC):
         max_workers: int = 4,
         algorithm_info: dict[str, Any] | None = None,
         sampling_info: dict[str, Any] | None = None,
+        max_retries: int = 0,
+        retry_backoff_s: float = 0.0,
+        trial_timeout_s: float | None = None,
+        resume: bool = False,
+        checkpoint_every: int = 1,
     ) -> ReproducibilitySummary:
         """Run the optimization cycle and emit the Phase III summary.
 
         Defaults reproduce Listing 1: Extra-Trees surrogate, LHS initial
         design, gp_hedge acquisition, concurrency-limited asynchronous
-        evaluation.
+        evaluation. With ``resume=True`` finished trials from the archive's
+        checkpoint are replayed into the searcher (no re-execution) and the
+        campaign continues until ``num_samples`` total.
         """
         if search_alg is None:
             n_initial = max(1, min(10, num_samples // 2))
@@ -184,6 +200,12 @@ class Optimization(abc.ABC):
         if max_concurrent is not None:
             search_alg = ConcurrencyLimiter(search_alg, max_concurrent)
 
+        resume_trials = None
+        if resume:
+            from repro.search.trial import Trial
+
+            resume_trials = [Trial.from_dict(r) for r in self.archive.load_checkpoint()]
+
         tracer = self.tracer
         start = time.perf_counter()
         runner = TrialRunner(
@@ -197,6 +219,12 @@ class Optimization(abc.ABC):
             max_workers=max_workers,
             name=self.name,
             tracer=tracer,
+            max_retries=max_retries,
+            retry_backoff_s=retry_backoff_s,
+            trial_timeout_s=trial_timeout_s,
+            resume_trials=resume_trials,
+            checkpoint=self.archive.store_checkpoint,
+            checkpoint_every=checkpoint_every,
             # With tracing on, also drop the one-line-per-trial log next to
             # the other artifacts so the run report can render a trial table.
             log_dir=str(self.archive.root) if tracer.enabled else None,

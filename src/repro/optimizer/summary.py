@@ -85,6 +85,12 @@ class ReproducibilitySummary:
                 f"tell {self.cost_profile.get('tell_s', 0.0):.3f} s "
                 f"({fractions.get('tell_s', 0.0):.0%})"
             )
+            retries = int(self.cost_profile.get("retries", 0))
+            timeouts = int(self.cost_profile.get("timeouts", 0))
+            if retries or timeouts:
+                lines.append(
+                    f"fault tolerance: {retries} retried attempts, {timeouts} timeouts"
+                )
         lines.append(f"best value:   {self.best_value:.6g}")
         table = Table(["variable", "best value"], title="best configuration")
         for key, value in self.best_configuration.items():

@@ -28,6 +28,8 @@ from typing import Any, Callable, Optional
 
 from repro.bayesopt.space import Space
 from repro.errors import TrialError, ValidationError
+from repro.faults.context import set_current_attempt
+from repro.observability.metrics import get_registry
 from repro.observability.profile import CostBreakdown, aggregate_costs
 from repro.observability.trace import Tracer, get_tracer
 from repro.search.algos import SearchAlgorithm, SurrogateSearch
@@ -38,18 +40,79 @@ __all__ = ["TrialRunner", "ExperimentAnalysis", "run"]
 
 Trainable = Callable[..., Any]
 
+Checkpointer = Callable[[list[dict[str, Any]]], Any]
+
 
 def _normalize_result(raw: Any, metric: str) -> dict[str, float]:
+    """Coerce a trainable's return value into a float metrics dict.
+
+    The target metric is strict (a non-numeric value is a trial error);
+    auxiliary entries that do not convert to float (e.g. a ``"deployment"``
+    tag string) are silently dropped rather than failing the whole trial.
+    """
     if isinstance(raw, dict):
         if metric not in raw:
             raise TrialError(f"trainable result lacks metric {metric!r}: {sorted(raw)}")
-        return {k: float(v) for k, v in raw.items()}
+        out: dict[str, float] = {metric: float(raw[metric])}
+        for key, value in raw.items():
+            if key == metric:
+                continue
+            try:
+                out[key] = float(value)
+            except (TypeError, ValueError):
+                continue
+        return out
     return {metric: float(raw)}
 
 
-def _process_entry(trainable: Trainable, config: dict[str, Any]) -> Any:
-    """Top-level entry for process executors (picklable)."""
-    return trainable(config)
+def _attempt_once(
+    trainable: Trainable, config: dict[str, Any], timeout_s: float | None
+) -> tuple[str, Any]:
+    """One attempt in a worker process: ``("ok", raw) | ("error"|"timeout", msg)``."""
+    if timeout_s is None:
+        try:
+            return ("ok", trainable(config))
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            return ("error", f"{type(exc).__name__}: {exc}")
+    box: list[tuple[str, Any]] = []
+    worker = threading.Thread(
+        target=lambda: box.append(_attempt_once(trainable, config, None)), daemon=True
+    )
+    worker.start()
+    worker.join(timeout_s)
+    if worker.is_alive():
+        return ("timeout", f"TrialTimeout: exceeded {timeout_s}s")
+    return box[0]
+
+
+def _process_entry(
+    trainable: Trainable,
+    config: dict[str, Any],
+    max_retries: int = 0,
+    backoff_s: float = 0.0,
+    timeout_s: float | None = None,
+) -> dict[str, Any]:
+    """Top-level entry for process executors (picklable).
+
+    The retry/timeout loop runs *inside* the worker so the parent's drain
+    loop stays a plain future wait. Never raises for trainable failures —
+    the structured payload carries the outcome plus retry/timeout counts.
+    """
+    retries = 0
+    timeouts = 0
+    payload: Any = None
+    for attempt in range(int(max_retries) + 1):
+        set_current_attempt(attempt)
+        status, payload = _attempt_once(trainable, config, timeout_s)
+        if status == "ok":
+            return {"ok": True, "raw": payload, "retries": retries, "timeouts": timeouts}
+        if status == "timeout":
+            timeouts += 1
+        if attempt < max_retries:
+            retries += 1
+            if backoff_s > 0:
+                time.sleep(backoff_s * (2**attempt))
+    return {"ok": False, "error": payload, "retries": retries, "timeouts": timeouts}
 
 
 @dataclass
@@ -133,6 +196,12 @@ class TrialRunner:
         raise_on_failed_trial: bool = False,
         log_dir: str | None = None,
         tracer: Tracer | None = None,
+        max_retries: int = 0,
+        retry_backoff_s: float = 0.0,
+        trial_timeout_s: float | None = None,
+        resume_trials: list[Trial] | None = None,
+        checkpoint: Checkpointer | None = None,
+        checkpoint_every: int = 1,
     ) -> None:
         if mode not in ("min", "max"):
             raise ValidationError("mode must be 'min' or 'max'")
@@ -140,6 +209,14 @@ class TrialRunner:
             raise ValidationError("num_samples must be >= 1")
         if executor not in ("sync", "thread", "process"):
             raise ValidationError(f"unknown executor {executor!r}")
+        if max_retries < 0:
+            raise ValidationError("max_retries must be >= 0")
+        if retry_backoff_s < 0:
+            raise ValidationError("retry_backoff_s must be >= 0")
+        if trial_timeout_s is not None and trial_timeout_s <= 0:
+            raise ValidationError("trial_timeout_s must be > 0")
+        if checkpoint_every < 1:
+            raise ValidationError("checkpoint_every must be >= 1")
         self.trainable = trainable
         self.search_alg = search_alg
         self.metric = metric
@@ -154,10 +231,23 @@ class TrialRunner:
         self.max_workers = int(max_workers)
         self.name = name
         self.raise_on_failed_trial = raise_on_failed_trial
+        self.max_retries = int(max_retries)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.trial_timeout_s = None if trial_timeout_s is None else float(trial_timeout_s)
         self._tracer = tracer if tracer is not None else get_tracer()
         #: open per-trial spans, for cross-thread parenting (trial_id → Span).
         self._trial_spans: dict[str, Any] = {}
         self._lock = threading.Lock()
+        #: serializes all scheduler access: with the thread executor,
+        #: ``on_result`` fires from worker threads while ``on_complete``
+        #: fires from the drain loop — stateful schedulers need one lock.
+        self._scheduler_lock = threading.Lock()
+        #: trials replayed from a checkpoint (count against num_samples).
+        self._resume_trials: list[Trial] = list(resume_trials or [])
+        self._checkpoint = checkpoint
+        self.checkpoint_every = int(checkpoint_every)
+        self._finished: list[Trial] = list(self._resume_trials)
+        self._since_checkpoint = 0
         self._log_path = None
         if log_dir is not None:
             from pathlib import Path
@@ -200,6 +290,9 @@ class TrialRunner:
             span.set("status", trial.status.value)
             if self.metric in trial.result:
                 span.set(self.metric, trial.result[self.metric])
+            for key in ("retries", "timeouts"):
+                if trial.cost.get(key):
+                    span.set(key, int(trial.cost[key]))
             tracer.end_span(span, error=trial.error)
 
     def _record_execute_span(self, trial: Trial, duration_s: float) -> None:
@@ -226,8 +319,9 @@ class TrialRunner:
             return False
         return len(params) >= 2
 
-    def _execute_inline(self, trial: Trial) -> None:
+    def _execute_inline(self, trial: Trial, attempt: int = 0) -> None:
         reporter = Reporter(trial, self._on_report, self._lock)
+        set_current_attempt(attempt)
         start = time.perf_counter()
         trial.status = TrialStatus.RUNNING
         try:
@@ -249,8 +343,105 @@ class TrialRunner:
         trial.cost["evaluate_s"] = trial.runtime_s
         self._record_execute_span(trial, trial.runtime_s)
 
+    def _run_attempt(self, scratch: Trial, attempt: int) -> bool:
+        """Run one attempt; ``False`` means it hit the per-trial timeout.
+
+        With a timeout configured the attempt runs on its own daemon thread
+        against a *scratch* trial; on timeout the thread is abandoned (Python
+        cannot preempt it) but only ever mutates the scratch object, so the
+        real trial stays consistent for the retry.
+        """
+        if self.trial_timeout_s is None:
+            self._execute_inline(scratch, attempt)
+            return True
+        worker = threading.Thread(
+            target=self._execute_inline,
+            args=(scratch, attempt),
+            name=f"trial-{scratch.trial_id}-attempt{attempt}",
+            daemon=True,
+        )
+        worker.start()
+        worker.join(self.trial_timeout_s)
+        return not worker.is_alive()
+
+    def _execute_with_retry(self, trial: Trial) -> None:
+        """Execute a trial with per-attempt timeout and retry-with-backoff.
+
+        A failed or hung attempt is retried up to ``max_retries`` times; the
+        attempt index is published through :mod:`repro.faults.context` so
+        stochastic components (fault injectors, seeded evaluators) draw a
+        fresh stream per attempt. Retry/timeout counts are recorded on
+        ``trial.cost`` and exported through the metrics registry.
+        """
+        if self.max_retries == 0 and self.trial_timeout_s is None:
+            self._execute_inline(trial)
+            return
+        trial.status = TrialStatus.RUNNING
+        retries = 0
+        timeouts = 0
+        total_runtime = 0.0
+        attempts = self.max_retries + 1
+        for attempt in range(attempts):
+            scratch = Trial(trial_id=trial.trial_id, config=dict(trial.config))
+            completed = self._run_attempt(scratch, attempt)
+            with self._lock:
+                trial.intermediate = list(scratch.intermediate)
+            if completed:
+                trial.result = scratch.result
+                trial.error = scratch.error
+                trial.status = scratch.status
+                total_runtime += scratch.runtime_s
+            else:
+                timeouts += 1
+                trial.result = {}
+                trial.error = (
+                    f"TrialTimeout: attempt {attempt + 1} exceeded {self.trial_timeout_s}s"
+                )
+                trial.status = TrialStatus.ERROR
+                total_runtime += self.trial_timeout_s or 0.0
+                self._record_timeout_span(trial)
+            if trial.status in (TrialStatus.TERMINATED, TrialStatus.STOPPED):
+                break
+            if attempt < attempts - 1:
+                retries += 1
+                if self.retry_backoff_s > 0:
+                    time.sleep(self.retry_backoff_s * (2**attempt))
+        trial.runtime_s = total_runtime
+        trial.cost["evaluate_s"] = total_runtime
+        if retries:
+            trial.cost["retries"] = float(retries)
+        if timeouts:
+            trial.cost["timeouts"] = float(timeouts)
+        self._count_fault_metrics(retries, timeouts)
+
+    def _count_fault_metrics(self, retries: int, timeouts: int) -> None:
+        registry = get_registry()
+        if not registry.enabled or not (retries or timeouts):
+            return
+        if retries:
+            registry.counter(
+                "repro_trial_retries_total", "trial attempts retried after failure or timeout"
+            ).inc(retries)
+        if timeouts:
+            registry.counter(
+                "repro_trial_timeouts_total", "trial attempts that hit the per-trial timeout"
+            ).inc(timeouts)
+
+    def _record_timeout_span(self, trial: Trial) -> None:
+        tracer = self._tracer
+        if not tracer.enabled:
+            return
+        with self._lock:
+            parent = self._trial_spans.get(trial.trial_id)
+        span = tracer.start_span(
+            "execute", parent=parent, start=tracer.clock() - (self.trial_timeout_s or 0.0)
+        )
+        span.set("status", "timeout")
+        tracer.end_span(span, error=trial.error)
+
     def _on_report(self, trial: Trial, step: int, value: float) -> bool:
-        decision = self.scheduler.on_result(trial, step, value)
+        with self._scheduler_lock:
+            decision = self.scheduler.on_result(trial, step, value)
         return decision is TrialDecision.CONTINUE
 
     def _log_trial(self, trial: Trial) -> None:
@@ -264,7 +455,8 @@ class TrialRunner:
                 handle.write(json.dumps(trial.to_dict()) + "\n")
 
     def _after_trial(self, trial: Trial) -> None:
-        self.scheduler.on_complete(trial)
+        with self._scheduler_lock:
+            self.scheduler.on_complete(trial)
         try:
             if trial.status is TrialStatus.ERROR:
                 self.search_alg.on_trial_error(trial.trial_id, trial.config)
@@ -287,79 +479,156 @@ class TrialRunner:
         finally:
             self._close_trial(trial)
             self._log_trial(trial)
+            self._record_finished(trial)
+
+    # -- checkpoint / resume ---------------------------------------------------------
+
+    def _record_finished(self, trial: Trial) -> None:
+        """Track a finished trial and periodically persist the campaign state."""
+        if self._checkpoint is None:
+            return
+        self._finished.append(trial)
+        self._since_checkpoint += 1
+        if self._since_checkpoint >= self.checkpoint_every:
+            self._flush_checkpoint()
+
+    def _flush_checkpoint(self) -> None:
+        if self._checkpoint is None or self._since_checkpoint == 0:
+            return
+        self._since_checkpoint = 0
+        self._checkpoint([t.to_dict() for t in self._finished])
+
+    def _replay_resumed(self, trials: list[Trial]) -> int:
+        """Feed checkpointed trials back into the searcher without re-executing.
+
+        Completed trials are ``tell``-ed into the search algorithm so the
+        surrogate resumes with its full observation history; errored trials
+        surrender through ``on_trial_error``. Every resumed trial counts
+        against the ``num_samples`` budget.
+        """
+        for trial in self._resume_trials:
+            trials.append(trial)
+            value = trial.result.get(self.metric)
+            if (
+                trial.status in (TrialStatus.TERMINATED, TrialStatus.STOPPED)
+                and value is not None
+                and value == value
+            ):
+                self.search_alg.on_trial_complete(trial.trial_id, trial.config, value)
+            elif trial.status is TrialStatus.ERROR:
+                self.search_alg.on_trial_error(trial.trial_id, trial.config)
+        return len(self._resume_trials)
 
     # -- main loop --------------------------------------------------------------------
 
     def run(self) -> ExperimentAnalysis:
         start = time.perf_counter()
         trials: list[Trial] = []
+        created = self._replay_resumed(trials)
         if self.executor_kind == "sync":
-            created = 0
-            while created < self.num_samples:
-                trial_id = f"{self.name}_{created:05d}"
-                config, suggest_s = self._suggest(trial_id)
-                if config is None:
-                    break  # exhausted (grid) — with sync there is nothing pending
-                trial = Trial(trial_id=trial_id, config=config)
-                self._open_trial(trial, suggest_s)
-                trials.append(trial)
-                created += 1
-                self._execute_inline(trial)
-                self._after_trial(trial)
+            try:
+                while created < self.num_samples:
+                    trial_id = f"{self.name}_{created:05d}"
+                    config, suggest_s = self._suggest(trial_id)
+                    if config is None:
+                        break  # exhausted (grid) — with sync there is nothing pending
+                    trial = Trial(trial_id=trial_id, config=config)
+                    self._open_trial(trial, suggest_s)
+                    trials.append(trial)
+                    created += 1
+                    self._execute_with_retry(trial)
+                    self._after_trial(trial)
+            except TrialError as exc:
+                exc.analysis = self._analysis(trials, start)
+                raise
+            self._flush_checkpoint()
             return self._analysis(trials, start)
 
         pool_cls = ThreadPoolExecutor if self.executor_kind == "thread" else ProcessPoolExecutor
         with pool_cls(max_workers=self.max_workers) as pool:
             futures: dict[Future, Trial] = {}
-            created = 0
             exhausted = False
-            while True:
-                # Submit as many trials as the searcher will give us.
-                while not exhausted and created < self.num_samples:
-                    trial_id = f"{self.name}_{created:05d}"
-                    config, suggest_s = self._suggest(trial_id)
-                    if config is None:
-                        if not futures:
-                            exhausted = True  # nothing pending → truly done
-                        break
-                    trial = Trial(trial_id=trial_id, config=config)
-                    self._open_trial(trial, suggest_s)
-                    trials.append(trial)
-                    created += 1
-                    futures[self._submit(pool, trial)] = trial
+            try:
+                while True:
+                    # Submit as many trials as the searcher will give us.
+                    while not exhausted and created < self.num_samples:
+                        trial_id = f"{self.name}_{created:05d}"
+                        config, suggest_s = self._suggest(trial_id)
+                        if config is None:
+                            if not futures:
+                                exhausted = True  # nothing pending → truly done
+                            break
+                        trial = Trial(trial_id=trial_id, config=config)
+                        self._open_trial(trial, suggest_s)
+                        trials.append(trial)
+                        created += 1
+                        futures[self._submit(pool, trial)] = trial
 
-                if not futures:
-                    break
-                done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                for future in done:
-                    trial = futures.pop(future)
-                    self._collect(future, trial)
-                    self._after_trial(trial)
-                if created >= self.num_samples and not futures:
-                    break
+                    if not futures:
+                        break
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        trial = futures.pop(future)
+                        self._collect(future, trial)
+                        self._after_trial(trial)
+                    if created >= self.num_samples and not futures:
+                        break
+            except TrialError as exc:
+                # Abort cleanly mid-drain: cancel everything still queued so
+                # the pool context exit does not execute abandoned work, and
+                # hand the partial analysis to the caller on the error.
+                for future in futures:
+                    future.cancel()
+                pool.shutdown(wait=True, cancel_futures=True)
+                exc.analysis = self._analysis(trials, start)
+                raise
+        self._flush_checkpoint()
         return self._analysis(trials, start)
 
     def _submit(self, pool: Any, trial: Trial) -> Future:
         trial.status = TrialStatus.RUNNING
         if self.executor_kind == "process":
             trial._start = time.perf_counter()  # type: ignore[attr-defined]
-            return pool.submit(_process_entry, self.trainable, dict(trial.config))
+            return pool.submit(
+                _process_entry,
+                self.trainable,
+                dict(trial.config),
+                self.max_retries,
+                self.retry_backoff_s,
+                self.trial_timeout_s,
+            )
         return pool.submit(self._run_threaded, trial)
 
     def _run_threaded(self, trial: Trial) -> None:
-        self._execute_inline(trial)
+        self._execute_with_retry(trial)
 
     def _collect(self, future: Future, trial: Trial) -> None:
         if self.executor_kind != "process":
             future.result()  # propagate unexpected harness errors only
             return
         try:
-            raw = future.result()
-            trial.result = _normalize_result(raw, self.metric)
-            trial.status = TrialStatus.TERMINATED
-        except Exception as exc:  # noqa: BLE001 - recorded on the trial
+            payload = future.result()
+        except Exception as exc:  # noqa: BLE001 - harness-level failure (pickling, pool death)
             trial.error = f"{type(exc).__name__}: {exc}"
             trial.status = TrialStatus.ERROR
+        else:
+            retries = int(payload.get("retries", 0))
+            timeouts = int(payload.get("timeouts", 0))
+            if retries:
+                trial.cost["retries"] = float(retries)
+            if timeouts:
+                trial.cost["timeouts"] = float(timeouts)
+            self._count_fault_metrics(retries, timeouts)
+            if payload.get("ok"):
+                try:
+                    trial.result = _normalize_result(payload["raw"], self.metric)
+                    trial.status = TrialStatus.TERMINATED
+                except Exception as exc:  # noqa: BLE001 - recorded on the trial
+                    trial.error = f"{type(exc).__name__}: {exc}"
+                    trial.status = TrialStatus.ERROR
+            else:
+                trial.error = str(payload.get("error") or "trial failed")
+                trial.status = TrialStatus.ERROR
         trial.runtime_s = time.perf_counter() - getattr(trial, "_start", time.perf_counter())
         # Includes the executor queue wait: across a process boundary only the
         # submit→collect wall is observable.

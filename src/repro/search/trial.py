@@ -64,6 +64,20 @@ class Trial:
             "cost": dict(self.cost),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Trial":
+        """Rebuild a trial from its :meth:`to_dict` form (checkpoint resume)."""
+        return cls(
+            trial_id=str(data["trial_id"]),
+            config=dict(data["config"]),
+            status=TrialStatus(data.get("status", "pending")),
+            result={k: float(v) for k, v in data.get("result", {}).items()},
+            intermediate=[(int(s), float(v)) for s, v in data.get("intermediate", [])],
+            error=data.get("error"),
+            runtime_s=float(data.get("runtime_s", 0.0)),
+            cost={k: float(v) for k, v in data.get("cost", {}).items()},
+        )
+
 
 class Reporter:
     """Handed to trainables for intermediate metric reporting.

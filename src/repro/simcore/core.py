@@ -6,7 +6,7 @@ import heapq
 import time
 from typing import Any, Generator, Optional
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, WallClockTimeout
 from repro.simcore.events import NORMAL, Event, Process, Timeout
 
 __all__ = ["Environment", "LoopStats", "StopSimulation", "EmptySchedule"]
@@ -141,7 +141,9 @@ class Environment:
 
     # -- running ------------------------------------------------------------
 
-    def run(self, until: float | Event | None = None) -> Any:
+    def run(
+        self, until: float | Event | None = None, *, wall_timeout_s: float | None = None
+    ) -> Any:
         """Run the simulation.
 
         ``until`` may be:
@@ -152,7 +154,19 @@ class Environment:
           set to ``until`` on return);
         - an :class:`Event`: run until that event is processed and return its
           value (re-raising its exception if it failed).
+
+        ``wall_timeout_s`` bounds *real* time: a simulation that keeps
+        scheduling events (a runaway or hung model) is cut off with
+        :class:`~repro.errors.WallClockTimeout` after that many wall-clock
+        seconds. The deadline is checked between events, so a single event
+        callback that never returns cannot be interrupted — the fault-
+        tolerant trial runner's thread-level timeout covers that case.
         """
+        wall_deadline = None
+        if wall_timeout_s is not None:
+            if wall_timeout_s <= 0:
+                raise ValueError(f"wall_timeout_s must be > 0, got {wall_timeout_s}")
+            wall_deadline = time.perf_counter() + wall_timeout_s
         stop: Optional[Event] = None
         if until is not None:
             if isinstance(until, Event):
@@ -180,6 +194,11 @@ class Environment:
                     self.step()
                 except EmptySchedule:
                     break
+                if wall_deadline is not None and time.perf_counter() > wall_deadline:
+                    raise WallClockTimeout(
+                        f"simulation exceeded its wall-clock budget of "
+                        f"{wall_timeout_s}s (sim time {self._now})"
+                    )
         except StopSimulation as signal:
             return signal.args[0] if signal.args else None
         finally:

@@ -37,8 +37,8 @@ class Cluster:
         return self.spec.gpu_count > 0
 
     def free_nodes(self) -> list[Node]:
-        """Nodes not currently reserved, in index order (deterministic)."""
-        return [n for n in self.nodes if not n.reserved]
+        """Nodes neither reserved nor failed, in index order (deterministic)."""
+        return [n for n in self.nodes if not n.reserved and not n.failed]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         free = len(self.free_nodes())

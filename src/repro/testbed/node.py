@@ -29,6 +29,7 @@ class Node:
         self.allocated_memory_gb = 0.0
         self.allocated_gpus = 0
         self._reserved_by: Optional[str] = None
+        self._failed = False
 
     @property
     def name(self) -> str:
@@ -47,7 +48,27 @@ class Node:
     def reserved_by(self) -> Optional[str]:
         return self._reserved_by
 
+    @property
+    def failed(self) -> bool:
+        return self._failed
+
+    def fail(self) -> None:
+        """Mark the node crashed: it keeps its state but accepts no jobs.
+
+        Fault injection uses this to model a Grid'5000 node dying mid-
+        campaign; any reservation holding the node sees it via
+        :attr:`failed`, and the node is excluded from future scheduling
+        until :meth:`repair`.
+        """
+        self._failed = True
+
+    def repair(self) -> None:
+        """Bring a failed node back into the schedulable pool."""
+        self._failed = False
+
     def reserve(self, job_id: str) -> None:
+        if self._failed:
+            raise ReservationError(f"{self.name} has failed and cannot be reserved")
         if self._reserved_by is not None:
             raise ReservationError(f"{self.name} already reserved by job {self._reserved_by}")
         self._reserved_by = job_id
