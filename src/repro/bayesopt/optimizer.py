@@ -11,11 +11,27 @@ scikit-optimize: each base acquisition (EI, PI, LCB) proposes a candidate,
 one proposal is drawn with probability ``softmax(η · gains)``, and after the
 objective value arrives the chosen strategy's gain is updated with the
 realized improvement.
+
+Hot-path design
+---------------
+``ask``/``tell`` are the per-trial costs of the optimization cycle, so both
+are kept off the campaign's critical path:
+
+- ``ask(n)`` fits the surrogate at most once and draws a whole batch of
+  distinct points from it; every batched point is registered as a pending
+  constant-liar fantasy so the *next* refit accounts for in-flight trials.
+- surrogate refits are throttled (``refit_every`` fresh observations, with
+  a data-doubling staleness override) and the fitted-model history is a
+  capped opt-in record (``keep_models``) instead of an unbounded list.
+- ``tell`` is O(1): it caches the decoded point and the running best, and
+  ``result()`` assembles the :class:`OptimizeResult` lazily from those
+  caches instead of inverse-transforming the full history per call.
 """
 
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -67,6 +83,20 @@ class OptimizeResult:
         }
 
 
+def _values_equal(a: Any, b: Any) -> bool:
+    """Equality robust to int/float and numpy-scalar representation drift."""
+    a_num = isinstance(a, (int, float, np.integer, np.floating)) and not isinstance(a, bool)
+    b_num = isinstance(b, (int, float, np.integer, np.floating)) and not isinstance(b, bool)
+    if a_num and b_num:
+        return float(a) == float(b)
+    return bool(a == b)
+
+
+def _points_equal(a: Sequence[Any], b: Sequence[Any]) -> bool:
+    """Element-wise point equality tolerant of list/tuple and numeric drift."""
+    return len(a) == len(b) and all(_values_equal(u, v) for u, v in zip(a, b))
+
+
 class Optimizer:
     """Sequential model-based minimizer with ask/tell interface.
 
@@ -82,6 +112,13 @@ class Optimizer:
     - ``acq_func``: ``"EI"``, ``"PI"``, ``"LCB"`` or ``"gp_hedge"``.
     - ``lie_strategy``: fantasy value for pending points — ``"cl_min"``
       (optimistic), ``"cl_mean"``, or ``"cl_max"`` (pessimistic).
+    - ``refit_every``: fresh observations (tells plus pending-set changes)
+      tolerated before the cached surrogate is refitted. The default of 1
+      preserves the refit-per-ask behaviour; larger values amortize fits
+      across many asks, with a staleness override forcing a refit once the
+      observation set has doubled since the cached fit.
+    - ``keep_models``: size of the fitted-surrogate history exposed through
+      :attr:`models`. 0 (default) keeps none — campaign memory stays flat.
     """
 
     def __init__(
@@ -97,6 +134,8 @@ class Optimizer:
         kappa: float = 1.96,
         lie_strategy: str = "cl_min",
         hedge_eta: float = 1.0,
+        refit_every: int = 1,
+        keep_models: int = 0,
         random_state: int | None = None,
     ) -> None:
         self.space = dimensions if isinstance(dimensions, Space) else Space(dimensions)
@@ -106,6 +145,10 @@ class Optimizer:
             raise ValidationError(f"unknown acq_func {acq_func!r}")
         if lie_strategy not in ("cl_min", "cl_mean", "cl_max"):
             raise ValidationError(f"unknown lie_strategy {lie_strategy!r}")
+        if refit_every < 1:
+            raise ValidationError("refit_every must be >= 1")
+        if keep_models < 0:
+            raise ValidationError("keep_models must be >= 0")
         self.base_estimator = base_estimator
         self.n_initial_points = int(n_initial_points)
         self.acq_func = acq_func
@@ -114,6 +157,8 @@ class Optimizer:
         self.kappa = float(kappa)
         self.lie_strategy = lie_strategy
         self.hedge_eta = float(hedge_eta)
+        self.refit_every = int(refit_every)
+        self.keep_models = int(keep_models)
         self.rng = np.random.default_rng(random_state)
 
         sampler = get_sampler(initial_point_generator)
@@ -124,13 +169,26 @@ class Optimizer:
 
         self.Xi_unit: list[np.ndarray] = []
         self.yi: list[float] = []
+        #: decoded points, cached at tell time so ``result()`` never has to
+        #: inverse-transform the history.
+        self.Xi: list[list[Any]] = []
         #: pending = (unit point, decoded point, hedge acq). Matching in
         #: tell() uses the *decoded* point: integer/categorical dimensions
         #: collapse many unit coordinates onto one native value, so the
         #: caller's x would not reproduce the asked unit coordinate.
         self._pending: list[tuple[np.ndarray, list[Any], str | None]] = []
         self._gains = np.zeros(len(_HEDGE_ACQS))
-        self.models: list[SurrogateModel] = []
+        self._model: SurrogateModel | None = None
+        self._fit_told = 0
+        self._fit_pending = 0
+        self._model_history: deque[SurrogateModel] = deque(maxlen=self.keep_models)
+        self._best_idx = -1
+        self._best_y = math.inf
+
+    @property
+    def models(self) -> list[SurrogateModel]:
+        """Capped record of fitted surrogates (opt-in via ``keep_models``)."""
+        return list(self._model_history)
 
     # -- surrogate construction -----------------------------------------------------
 
@@ -143,51 +201,122 @@ class Optimizer:
         except TypeError:
             return get_surrogate(self.base_estimator)
 
-    # -- ask -----------------------------------------------------------------------
+    def _surrogate(self) -> SurrogateModel:
+        """The cached surrogate, refitted only when stale enough.
 
-    def ask(self) -> list[Any]:
-        """Next point to evaluate (registers it as pending)."""
-        unit, acq_name = self._ask_unit()
-        point = self.space.inverse_transform(unit[None, :])[0]
-        self._pending.append((unit, point, acq_name))
-        return point
-
-    def _ask_unit(self) -> tuple[np.ndarray, str | None]:
-        if self._initial_cursor < self.n_initial_points or len(self.yi) == 0:
-            idx = self._initial_cursor % self.n_initial_points
-            self._initial_cursor += 1
-            if self._initial_cursor > self.n_initial_points:
-                # Initial design exhausted while nothing was told yet:
-                # fall back to uniform random to keep asks distinct.
-                return self.rng.random(len(self.space)), None
-            return self._initial_points[idx].copy(), None
-
+        A refit is due when ``refit_every`` fresh observations accumulated
+        (new tells plus changes of the pending set, so the default of 1 also
+        refreshes constant-liar fantasies between asks) or when the
+        observation set has doubled since the cached fit regardless of the
+        throttle.
+        """
+        told, pend = len(self.yi), len(self._pending)
+        if self._model is not None:
+            fresh = (told - self._fit_told) + abs(pend - self._fit_pending)
+            doubled = told >= 2 * max(self._fit_told, 1)
+            if fresh < self.refit_every and not doubled:
+                return self._model
         X, y = self._augmented_data()
         model = self._new_model()
         model.fit(X, y)
-        self.models.append(model)
+        self._model = model
+        self._fit_told = told
+        self._fit_pending = pend
+        if self._model_history.maxlen:
+            self._model_history.append(model)
+        return model
 
-        candidates = self.rng.random((self.acq_n_candidates, len(self.space)))
-        mu, std = model.predict(candidates, return_std=True)
-        y_best = float(np.min(y))
+    # -- ask -----------------------------------------------------------------------
 
-        if self.acq_func == "gp_hedge":
-            probs = self._hedge_probabilities()
-            choice = int(self.rng.choice(len(_HEDGE_ACQS), p=probs))
-            acq_name = _HEDGE_ACQS[choice]
+    def ask(self, n: int | None = None) -> list[Any]:
+        """Next point(s) to evaluate (registered as pending).
+
+        Without ``n`` returns a single point, as before. With ``n`` returns
+        a batch of ``n`` distinct points generated from a *single* surrogate
+        fit: each pick is drawn from the acquisition ranking (gp_hedge draws
+        a portfolio member per point), deduplicated against everything asked
+        or told, and registered as a pending constant-liar fantasy so later
+        refits see the in-flight batch.
+        """
+        if n is None:
+            units, acqs = self._ask_units(1)
         else:
-            acq_name = self.acq_func
+            if n < 1:
+                raise ValidationError("batch size n must be >= 1")
+            units, acqs = self._ask_units(int(n))
+        points = self.space.inverse_transform(np.asarray(units))
+        for unit, point, acq_name in zip(units, points, acqs):
+            self._pending.append((unit, point, acq_name))
+        return points[0] if n is None else points
 
-        scores = self._acquisition(acq_name, mu, std, y_best)
-        order = np.argsort(scores)[::-1]
+    def _ask_units(self, n: int) -> tuple[list[np.ndarray], list[str | None]]:
+        taken = self._taken_keys()
+        units: list[np.ndarray] = []
+        acqs: list[str | None] = []
+        candidates: np.ndarray | None = None
+        mu = std = None
+        y_best = 0.0
+        order_cache: dict[str, np.ndarray] = {}
+        for _ in range(n):
+            if self._initial_cursor < self.n_initial_points or not self.yi:
+                unit, acq_name = self._cold_unit(taken), None
+            else:
+                if candidates is None:
+                    model = self._surrogate()
+                    candidates = self.rng.random((self.acq_n_candidates, len(self.space)))
+                    mu, std = model.predict(candidates, return_std=True)
+                    y_best = float(np.min(self.yi))
+                if self.acq_func == "gp_hedge":
+                    probs = self._hedge_probabilities()
+                    acq_name = _HEDGE_ACQS[int(self.rng.choice(len(_HEDGE_ACQS), p=probs))]
+                else:
+                    acq_name = self.acq_func
+                order = order_cache.get(acq_name)
+                if order is None:
+                    scores = self._acquisition(acq_name, mu, std, y_best)
+                    order = np.argsort(scores)[::-1]
+                    order_cache[acq_name] = order
+                unit = None
+                for idx in order:
+                    if tuple(np.round(candidates[idx], 6)) not in taken:
+                        unit = candidates[idx]
+                        break
+                if unit is None:
+                    # Every candidate collides (tiny spaces): random fallback.
+                    unit, acq_name = self._random_untaken(taken), None
+                elif self.acq_func != "gp_hedge":
+                    acq_name = None
+            taken.add(tuple(np.round(unit, 6)))
+            units.append(np.asarray(unit, dtype=float))
+            acqs.append(acq_name)
+        return units, acqs
+
+    def _taken_keys(self) -> set[tuple[float, ...]]:
         taken = {tuple(np.round(u, 6)) for u, _, _ in self._pending}
         taken.update(tuple(np.round(u, 6)) for u in self.Xi_unit)
-        for idx in order:
-            key = tuple(np.round(candidates[idx], 6))
-            if key not in taken:
-                return candidates[idx], acq_name if self.acq_func == "gp_hedge" else None
-        # Every candidate collides (tiny spaces): random fallback.
-        return self.rng.random(len(self.space)), None
+        return taken
+
+    def _cold_unit(self, taken: set[tuple[float, ...]]) -> np.ndarray:
+        """Next initial-design point not asked/told yet, else uniform random.
+
+        Skipping design points already in ``taken`` matters on resume
+        replay, where the campaign's early tells collide with the design.
+        """
+        while self._initial_cursor < self.n_initial_points:
+            unit = self._initial_points[self._initial_cursor].copy()
+            self._initial_cursor += 1
+            if tuple(np.round(unit, 6)) not in taken:
+                return unit
+        return self._random_untaken(taken)
+
+    def _random_untaken(self, taken: set[tuple[float, ...]]) -> np.ndarray:
+        """Uniform random point, rejection-sampled away from ``taken``."""
+        for _ in range(32):
+            unit = self.rng.random(len(self.space))
+            if tuple(np.round(unit, 6)) not in taken:
+                return unit
+        # Space effectively exhausted at key resolution: give up on dedup.
+        return self.rng.random(len(self.space))
 
     def _acquisition(
         self, name: str, mu: np.ndarray, std: np.ndarray, y_best: float
@@ -223,37 +352,65 @@ class Optimizer:
 
     # -- tell ----------------------------------------------------------------------
 
-    def tell(self, x: Sequence[Any], y: float) -> OptimizeResult:
-        """Report an observed objective value for ``x``."""
+    def tell(self, x: Sequence[Any], y: float) -> None:
+        """Report an observed objective value for ``x``.
+
+        O(1) in the campaign length: the decoded point and the running best
+        are cached here; build the full view with :meth:`result`.
+        """
         if not math.isfinite(y):
             raise ValidationError(f"objective value must be finite, got {y}")
-        unit = self.space.transform([list(x)])[0]
-        acq_name = self._pop_pending(unit, list(x))
+        x = list(x)
+        unit = self.space.transform([x])[0]
+        popped = self._pop_pending(unit, x)
+        if popped is not None:
+            _, point, acq_name = popped
+        else:
+            point = self.space.inverse_transform(unit[None, :])[0]
+            acq_name = None
         if acq_name is not None:
-            improvement = max(0.0, (min(self.yi) if self.yi else y) - y)
-            self._gains[_HEDGE_ACQS.index(acq_name)] += improvement
+            best_before = self._best_y if self.yi else y
+            self._gains[_HEDGE_ACQS.index(acq_name)] += max(0.0, best_before - y)
         self.Xi_unit.append(unit)
         self.yi.append(float(y))
-        return self.result()
+        self.Xi.append(point)
+        if float(y) < self._best_y:
+            self._best_y = float(y)
+            self._best_idx = len(self.yi) - 1
 
-    def _pop_pending(self, unit: np.ndarray, x: list[Any]) -> str | None:
-        for i, (pending_unit, pending_point, acq_name) in enumerate(self._pending):
-            if pending_point == x or np.allclose(pending_unit, unit, atol=1e-6):
-                self._pending.pop(i)
-                return acq_name
+    def _pop_pending(
+        self, unit: np.ndarray, x: list[Any]
+    ) -> tuple[np.ndarray, list[Any], str | None] | None:
+        """Resolve a told point against the pending suggestions.
+
+        Exact decoded-point matches win (robust to list/tuple and int/float
+        representation drift, e.g. on ``--resume`` replay); otherwise the
+        *nearest* pending unit point within tolerance is taken, so two close
+        asked points cannot steal each other's hedge attribution.
+        """
+        if not self._pending:
+            return None
+        for i, entry in enumerate(self._pending):
+            if _points_equal(entry[1], x):
+                return self._pending.pop(i)
+        dists = np.array(
+            [float(np.max(np.abs(pending_unit - unit))) for pending_unit, _, _ in self._pending]
+        )
+        nearest = int(np.argmin(dists))
+        if dists[nearest] <= 1e-6:
+            return self._pending.pop(nearest)
         return None
 
     # -- results ---------------------------------------------------------------------
 
     def result(self) -> OptimizeResult:
+        """Best-so-far view, assembled lazily from the tell-time caches."""
         if not self.yi:
             raise OptimizationError("no evaluations told yet")
-        best = int(np.argmin(self.yi))
-        x_iters = [self.space.inverse_transform(u[None, :])[0] for u in self.Xi_unit]
         return OptimizeResult(
-            x=x_iters[best],
-            fun=float(self.yi[best]),
-            x_iters=x_iters,
+            x=list(self.Xi[self._best_idx]),
+            fun=self._best_y,
+            x_iters=[list(p) for p in self.Xi],
             func_vals=list(self.yi),
             space=self.space,
             n_initial_points=self.n_initial_points,

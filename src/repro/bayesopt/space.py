@@ -36,6 +36,17 @@ class Dimension(abc.ABC):
     def contains(self, value: Any) -> bool:
         """Whether a native value lies within the dimension."""
 
+    # Vectorized variants; built-in dimensions override with numpy-column
+    # implementations, external subclasses inherit the scalar fallback.
+
+    def to_unit_array(self, values: Sequence[Any]) -> np.ndarray:
+        """Map a column of native values into [0, 1]."""
+        return np.fromiter((self.to_unit(v) for v in values), dtype=float, count=len(values))
+
+    def from_unit_array(self, u: np.ndarray) -> list[Any]:
+        """Map a column of unit-cube coordinates to native values."""
+        return [self.from_unit(v) for v in u]
+
 
 class Real(Dimension):
     """A continuous dimension, optionally log-uniform."""
@@ -68,6 +79,24 @@ class Real(Dimension):
             )
         return self.low + u * (self.high - self.low)
 
+    def to_unit_array(self, values: Sequence[Any]) -> np.ndarray:
+        v = np.asarray(values, dtype=float)
+        if self.prior == "log-uniform":
+            return (np.log(v) - math.log(self.low)) / (
+                math.log(self.high) - math.log(self.low)
+            )
+        return (v - self.low) / (self.high - self.low)
+
+    def from_unit_array(self, u: np.ndarray) -> list[float]:
+        u = np.clip(np.asarray(u, dtype=float), 0.0, 1.0)
+        if self.prior == "log-uniform":
+            out = np.exp(
+                math.log(self.low) + u * (math.log(self.high) - math.log(self.low))
+            )
+        else:
+            out = self.low + u * (self.high - self.low)
+        return out.tolist()
+
     def contains(self, value: Any) -> bool:
         return self.low <= float(value) <= self.high
 
@@ -99,6 +128,14 @@ class Integer(Dimension):
         u = min(max(float(u), 0.0), np.nextafter(1.0, 0.0))
         return self.low + int(u * self.count)
 
+    def to_unit_array(self, values: Sequence[Any]) -> np.ndarray:
+        v = np.asarray([int(value) for value in values], dtype=float)
+        return (v - self.low + 0.5) / self.count
+
+    def from_unit_array(self, u: np.ndarray) -> list[int]:
+        u = np.clip(np.asarray(u, dtype=float), 0.0, np.nextafter(1.0, 0.0))
+        return (self.low + (u * self.count).astype(np.int64)).tolist()
+
     def contains(self, value: Any) -> bool:
         return float(value).is_integer() and self.low <= int(value) <= self.high
 
@@ -128,6 +165,11 @@ class Categorical(Dimension):
     def from_unit(self, u: float) -> Any:
         u = min(max(float(u), 0.0), np.nextafter(1.0, 0.0))
         return self.categories[int(u * len(self.categories))]
+
+    def from_unit_array(self, u: np.ndarray) -> list[Any]:
+        u = np.clip(np.asarray(u, dtype=float), 0.0, np.nextafter(1.0, 0.0))
+        indices = (u * len(self.categories)).astype(np.int64)
+        return [self.categories[i] for i in indices]
 
     def contains(self, value: Any) -> bool:
         return any(value == c for c in self.categories)
@@ -161,24 +203,31 @@ class Space:
         return [d.name for d in self.dimensions]
 
     def transform(self, points: Sequence[Sequence[Any]]) -> np.ndarray:
-        """Native points → unit-cube array (n, d)."""
-        out = np.empty((len(points), len(self.dimensions)))
-        for i, point in enumerate(points):
+        """Native points → unit-cube array (n, d), one vectorized column per
+        dimension rather than one Python call per coordinate."""
+        for point in points:
             if len(point) != len(self.dimensions):
                 raise ValidationError(
                     f"point has {len(point)} values, space has {len(self.dimensions)}"
                 )
-            for j, (dim, value) in enumerate(zip(self.dimensions, point)):
-                out[i, j] = dim.to_unit(value)
+        out = np.empty((len(points), len(self.dimensions)))
+        for j, dim in enumerate(self.dimensions):
+            out[:, j] = dim.to_unit_array([point[j] for point in points])
         return out
 
     def inverse_transform(self, unit_points: np.ndarray) -> list[list[Any]]:
-        """Unit-cube array → native points."""
+        """Unit-cube array → native points (vectorized per dimension)."""
         unit_points = np.atleast_2d(np.asarray(unit_points, dtype=float))
-        return [
-            [dim.from_unit(u) for dim, u in zip(self.dimensions, row)]
-            for row in unit_points
+        if unit_points.shape[1] != len(self.dimensions):
+            raise ValidationError(
+                f"unit points have {unit_points.shape[1]} columns, "
+                f"space has {len(self.dimensions)}"
+            )
+        columns = [
+            dim.from_unit_array(unit_points[:, j])
+            for j, dim in enumerate(self.dimensions)
         ]
+        return [list(row) for row in zip(*columns)]
 
     def contains(self, point: Sequence[Any]) -> bool:
         return len(point) == len(self.dimensions) and all(

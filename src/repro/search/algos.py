@@ -38,6 +38,22 @@ class SearchAlgorithm(abc.ABC):
     def suggest(self, trial_id: str) -> Optional[dict[str, Any]]:
         """Next configuration, or ``None`` when the algorithm is exhausted."""
 
+    def suggest_batch(self, trial_ids: list[str]) -> list[dict[str, Any]]:
+        """Up to ``len(trial_ids)`` configurations in one call.
+
+        The returned list may be shorter when the algorithm is exhausted or
+        concurrency-limited; it never contains ``None``. The default loops
+        :meth:`suggest`; model-based searchers override it to amortize one
+        surrogate fit across the whole batch.
+        """
+        out: list[dict[str, Any]] = []
+        for trial_id in trial_ids:
+            config = self.suggest(trial_id)
+            if config is None:
+                break
+            out.append(config)
+        return out
+
     @abc.abstractmethod
     def on_trial_complete(self, trial_id: str, config: dict[str, Any], value: float) -> None:
         """Feed back the objective value of a finished trial."""
@@ -51,6 +67,11 @@ class SurrogateSearch(SearchAlgorithm):
 
     The analogue of the paper's ``SkOptSearch(optimizer=Optimizer(...))``;
     pass either a pre-built optimizer or the optimizer's keyword arguments.
+
+    ``batch_size`` > 1 prefetches suggestions: one ``ask(batch_size)``
+    (a single surrogate fit) feeds that many ``suggest`` calls. The trial
+    runner additionally asks for whole batches directly via
+    :meth:`suggest_batch` to fill all free executor slots at once.
     """
 
     def __init__(
@@ -59,20 +80,39 @@ class SurrogateSearch(SearchAlgorithm):
         *,
         mode: str = "min",
         optimizer: Optimizer | None = None,
+        batch_size: int = 1,
         **optimizer_kwargs: Any,
     ) -> None:
         super().__init__(space, mode=mode)
         if optimizer is not None and optimizer_kwargs:
             raise ValidationError("pass either optimizer or kwargs, not both")
+        if batch_size < 1:
+            raise ValidationError("batch_size must be >= 1")
         self.optimizer = optimizer or Optimizer(space, **optimizer_kwargs)
         if self.optimizer.space is not space:
             # Allow a pre-built optimizer but insist the spaces agree.
             if self.optimizer.space.names != space.names:
                 raise ValidationError("optimizer space does not match search space")
+        self.batch_size = int(batch_size)
+        self._prefetched: list[dict[str, Any]] = []
 
     def suggest(self, trial_id: str) -> Optional[dict[str, Any]]:
-        point = self.optimizer.ask()
-        return self.space.to_dict(point)
+        if self._prefetched:
+            return self._prefetched.pop(0)
+        if self.batch_size > 1:
+            points = self.optimizer.ask(self.batch_size)
+            self._prefetched = [self.space.to_dict(p) for p in points]
+            return self._prefetched.pop(0)
+        return self.space.to_dict(self.optimizer.ask())
+
+    def suggest_batch(self, trial_ids: list[str]) -> list[dict[str, Any]]:
+        out: list[dict[str, Any]] = []
+        while self._prefetched and len(out) < len(trial_ids):
+            out.append(self._prefetched.pop(0))
+        need = len(trial_ids) - len(out)
+        if need > 0:
+            out.extend(self.space.to_dict(p) for p in self.optimizer.ask(need))
+        return out
 
     def on_trial_complete(self, trial_id: str, config: dict[str, Any], value: float) -> None:
         point = [config[name] for name in self.space.names]
@@ -151,6 +191,15 @@ class ConcurrencyLimiter(SearchAlgorithm):
         if config is not None:
             self._outstanding.add(trial_id)
         return config
+
+    def suggest_batch(self, trial_ids: list[str]) -> list[dict[str, Any]]:
+        free = self.max_concurrent - len(self._outstanding)
+        if free <= 0:
+            return []
+        ids = list(trial_ids)[:free]
+        configs = self.searcher.suggest_batch(ids)
+        self._outstanding.update(ids[: len(configs)])
+        return configs
 
     def on_trial_complete(self, trial_id: str, config: dict[str, Any], value: float) -> None:
         self._outstanding.discard(trial_id)

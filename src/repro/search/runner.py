@@ -74,14 +74,25 @@ def _attempt_once(
             return ("ok", trainable(config))
         except Exception as exc:  # noqa: BLE001 - reported to the parent
             return ("error", f"{type(exc).__name__}: {exc}")
+        except BaseException as exc:  # SystemExit & friends: still one trial's error
+            if isinstance(exc, KeyboardInterrupt):
+                raise
+            return ("error", f"{type(exc).__name__}: {exc}")
     box: list[tuple[str, Any]] = []
-    worker = threading.Thread(
-        target=lambda: box.append(_attempt_once(trainable, config, None)), daemon=True
-    )
+
+    def _worker() -> None:
+        try:
+            box.append(_attempt_once(trainable, config, None))
+        except BaseException as exc:  # noqa: BLE001 - keep the box non-empty
+            box.append(("error", f"{type(exc).__name__}: {exc}"))
+
+    worker = threading.Thread(target=_worker, daemon=True)
     worker.start()
     worker.join(timeout_s)
     if worker.is_alive():
         return ("timeout", f"TrialTimeout: exceeded {timeout_s}s")
+    if not box:
+        return ("error", "trial worker exited without reporting a result")
     return box[0]
 
 
@@ -264,6 +275,13 @@ class TrialRunner:
         start = time.perf_counter()
         config = self.search_alg.suggest(trial_id)
         return config, time.perf_counter() - start
+
+    def _suggest_batch(self, trial_ids: list[str]) -> tuple[list[dict[str, Any]], float]:
+        """Time one batched suggest; returns configs and the per-config cost."""
+        start = time.perf_counter()
+        configs = self.search_alg.suggest_batch(trial_ids)
+        elapsed = time.perf_counter() - start
+        return configs, elapsed / len(configs) if configs else elapsed
 
     def _open_trial(self, trial: Trial, suggest_s: float) -> None:
         """Record the suggest cost; open the trial span if tracing."""
@@ -550,19 +568,30 @@ class TrialRunner:
             exhausted = False
             try:
                 while True:
-                    # Submit as many trials as the searcher will give us.
+                    # Fill every free executor slot from one batched suggest
+                    # (a single surrogate fit for model-based searchers).
                     while not exhausted and created < self.num_samples:
-                        trial_id = f"{self.name}_{created:05d}"
-                        config, suggest_s = self._suggest(trial_id)
-                        if config is None:
+                        want = min(self.num_samples - created, self.max_workers - len(futures))
+                        if want <= 0:
+                            break
+                        ids = [f"{self.name}_{created + k:05d}" for k in range(want)]
+                        if want == 1:
+                            config, suggest_s = self._suggest(ids[0])
+                            configs = [] if config is None else [config]
+                        else:
+                            configs, suggest_s = self._suggest_batch(ids)
+                        if not configs:
                             if not futures:
                                 exhausted = True  # nothing pending → truly done
                             break
-                        trial = Trial(trial_id=trial_id, config=config)
-                        self._open_trial(trial, suggest_s)
-                        trials.append(trial)
-                        created += 1
-                        futures[self._submit(pool, trial)] = trial
+                        for config in configs:
+                            trial = Trial(trial_id=f"{self.name}_{created:05d}", config=config)
+                            self._open_trial(trial, suggest_s)
+                            trials.append(trial)
+                            created += 1
+                            futures[self._submit(pool, trial)] = trial
+                        if len(configs) < len(ids):
+                            break  # limited/exhausted for now: drain first
 
                     if not futures:
                         break
@@ -659,12 +688,17 @@ def run(
     name: str = "experiment",
     seed: int | None = None,
     log_dir: str | None = None,
+    batch_size: int = 1,
+    refit_every: int = 1,
 ) -> ExperimentAnalysis:
     """``tune.run``-style entry point.
 
     Either pass a ``search_alg`` or a ``space`` (then a default
     :class:`SurrogateSearch` with Extra-Trees and LHS initialization is
-    built, matching the paper's Listing 1 configuration).
+    built, matching the paper's Listing 1 configuration). ``batch_size``
+    and ``refit_every`` tune the default searcher's suggest hot path:
+    batched asks amortize one surrogate fit over several suggestions, and
+    refits are throttled to every ``refit_every`` fresh observations.
     """
     if search_alg is None:
         if space is None:
@@ -677,6 +711,8 @@ def run(
             acq_func="gp_hedge",
             n_initial_points=max(1, min(10, num_samples // 2)),
             random_state=seed,
+            batch_size=batch_size,
+            refit_every=refit_every,
         )
     runner = TrialRunner(
         trainable,

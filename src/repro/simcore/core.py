@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import heapq
+import math
 import time
 from typing import Any, Generator, Optional
 
@@ -93,8 +94,9 @@ class Environment:
 
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Queue ``event`` for processing after ``delay`` time units."""
-        if delay < 0:
-            raise ValueError(f"negative delay: {delay}")
+        if not math.isfinite(delay) or delay < 0:
+            # NaN/inf would wedge the heap ordering or hang run() forever.
+            raise ValueError(f"delay must be finite and >= 0, got {delay}")
         self._eid += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
 

@@ -13,6 +13,7 @@ thread-pool phenomena need precise control over resource accounting.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -137,8 +138,8 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
-        if delay < 0:
-            raise ValueError(f"negative timeout delay: {delay}")
+        if not math.isfinite(delay) or delay < 0:
+            raise ValueError(f"timeout delay must be finite and >= 0, got {delay}")
         super().__init__(env)
         self.delay = delay
         self._ok = True

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.surrogate.base import SurrogateModel, check_fit_inputs
-from repro.surrogate.tree import DecisionTreeRegressor
+from repro.surrogate.tree import _LEAF, DecisionTreeRegressor
 
 __all__ = ["RandomForestRegressor", "ExtraTreesRegressor"]
 
@@ -68,7 +68,29 @@ class _BaseForest(SurrogateModel):
             else:
                 tree.fit(X, y)
             self.estimators_.append(tree)
+        self._pack()
         return self
+
+    def _pack(self) -> None:
+        """Concatenate all trees into one node-array set for joint traversal.
+
+        Prediction walks every (tree, row) pair in a single vectorized loop
+        whose iteration count is the *deepest* tree rather than the sum of
+        depths — the per-tree Python loop used to dominate acquisition
+        scoring over large candidate batches.
+        """
+        trees = self.estimators_
+        offsets = np.cumsum([0] + [t.node_count for t in trees[:-1]])
+        self._roots = offsets.astype(np.int64)
+        self._cl_all = np.concatenate(
+            [np.where(t._cl == _LEAF, _LEAF, t._cl + off) for t, off in zip(trees, offsets)]
+        )
+        self._cr_all = np.concatenate(
+            [np.where(t._cr == _LEAF, _LEAF, t._cr + off) for t, off in zip(trees, offsets)]
+        )
+        self._feat_all = np.concatenate([t._feat for t in trees])
+        self._thr_all = np.concatenate([t._thr for t in trees])
+        self._val_all = np.concatenate([t._val for t in trees])
 
     def predict(
         self, X: Any, return_std: bool = False
@@ -76,7 +98,18 @@ class _BaseForest(SurrogateModel):
         X = self._check_predict_input(X)
         if not self.estimators_:
             raise ValidationError(f"{type(self).__name__} is not fitted yet")
-        preds = np.stack([tree.predict(X) for tree in self.estimators_])
+        n_rows = len(X)
+        n_trees = len(self.estimators_)
+        node = np.repeat(self._roots, n_rows)
+        rows = np.tile(np.arange(n_rows), n_trees)
+        active = np.nonzero(self._cl_all[node] != _LEAF)[0]
+        while active.size:
+            nodes = node[active]
+            go_left = X[rows[active], self._feat_all[nodes]] <= self._thr_all[nodes]
+            nxt = np.where(go_left, self._cl_all[nodes], self._cr_all[nodes])
+            node[active] = nxt
+            active = active[self._cl_all[nxt] != _LEAF]
+        preds = self._val_all[node].reshape(n_trees, n_rows)
         mean = preds.mean(axis=0)
         if return_std:
             std = preds.std(axis=0)

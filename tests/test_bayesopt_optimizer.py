@@ -145,6 +145,18 @@ class TestOptimizer:
         with pytest.raises(ValidationError):
             Optimizer(self._space(), lie_strategy="cl_median")
 
+    def test_tell_is_lazy_and_result_matches(self):
+        """tell() no longer rebuilds the result; result() serves the cache."""
+        opt = Optimizer(self._space(), n_initial_points=4, random_state=0)
+        assert opt.tell(opt.ask(), 1.0) is None
+        for _ in range(5):
+            x = opt.ask()
+            opt.tell(x, self._quadratic(x))
+        result = opt.result()
+        assert result.n_evaluations == 6
+        assert result.fun == min(result.func_vals)
+        assert result.x == result.x_iters[result.func_vals.index(result.fun)]
+
     def test_callable_base_estimator(self):
         from repro.surrogate import KNeighborsRegressor
 
@@ -158,3 +170,179 @@ class TestOptimizer:
         )
         result = opt.run(self._quadratic, 15)
         assert result.fun < 1.0
+
+
+class _CountingFactory:
+    """Surrogate factory that counts how many models were fitted."""
+
+    def __init__(self):
+        from repro.surrogate import KNeighborsRegressor
+
+        self.fits = 0
+        self._cls = KNeighborsRegressor
+
+    def __call__(self):
+        self.fits += 1
+        return self._cls(3)
+
+
+class TestBatchedAsk:
+    def _space(self):
+        return Space([Real(-2.0, 2.0, name="a"), Real(-2.0, 2.0, name="b")])
+
+    def test_batch_points_distinct_and_pending(self):
+        opt = Optimizer(self._space(), n_initial_points=3, random_state=0,
+                        acq_n_candidates=200)
+        batch = opt.ask(8)
+        assert len(batch) == 8
+        assert len({tuple(np.round(p, 9)) for p in batch}) == 8
+        assert len(opt._pending) == 8
+        for p in batch:
+            opt.tell(p, float(p[0] ** 2 + p[1] ** 2))
+        assert not opt._pending
+
+    def test_batch_fits_surrogate_once(self):
+        factory = _CountingFactory()
+        opt = Optimizer(self._space(), base_estimator=factory, n_initial_points=3,
+                        acq_func="EI", random_state=0, acq_n_candidates=200)
+        for _ in range(3):
+            x = opt.ask()
+            opt.tell(x, float(x[0] ** 2))
+        before = factory.fits
+        opt.ask(6)
+        assert factory.fits == before + 1
+
+    def test_refit_throttle_bounds_fits(self):
+        factory = _CountingFactory()
+        opt = Optimizer(self._space(), base_estimator=factory, n_initial_points=3,
+                        acq_func="EI", random_state=0, acq_n_candidates=200,
+                        refit_every=5)
+        for _ in range(23):
+            x = opt.ask()
+            opt.tell(x, float(x[0] ** 2))
+        # 20 model-phase asks with refits gated to every 5 fresh observations
+        # (plus the staleness override) must fit far fewer than 20 models.
+        assert factory.fits <= 8
+
+    def test_model_history_capped_and_opt_in(self):
+        opt = Optimizer(self._space(), n_initial_points=3, acq_func="EI",
+                        random_state=0, acq_n_candidates=100)
+        for _ in range(8):
+            x = opt.ask()
+            opt.tell(x, float(x[0] ** 2))
+        assert opt.models == []  # default: flat memory, nothing retained
+        kept = Optimizer(self._space(), n_initial_points=3, acq_func="EI",
+                         random_state=0, acq_n_candidates=100, keep_models=2)
+        for _ in range(8):
+            x = kept.ask()
+            kept.tell(x, float(x[0] ** 2))
+        assert 1 <= len(kept.models) <= 2
+
+    def test_invalid_batch_and_params(self):
+        with pytest.raises(ValidationError):
+            Optimizer(self._space()).ask(0)
+        with pytest.raises(ValidationError):
+            Optimizer(self._space(), refit_every=0)
+        with pytest.raises(ValidationError):
+            Optimizer(self._space(), keep_models=-1)
+
+
+class TestPendingMatch:
+    """Regression tests for _pop_pending (close points, representation drift)."""
+
+    def test_nearest_unit_point_wins_over_first(self):
+        space = Space([Real(0.0, 1.0, name="a")])
+        opt = Optimizer(space, n_initial_points=1, random_state=0)
+        far = np.array([0.5])
+        near = np.array([0.5 + 4e-7])
+        opt._pending = [
+            (far, [0.5], "EI"),
+            (near, [0.5 + 4e-7], "PI"),
+        ]
+        # Told point sits closest to `near`, but within atol of both; the
+        # old first-allclose scan would pop `far` and misattribute the gain.
+        opt.tell([0.5 + 4.2e-7], 1.0)
+        assert len(opt._pending) == 1
+        assert opt._pending[0][2] == "EI"
+
+    def test_tuple_and_numpy_representation_drift(self):
+        space = Space([Real(0.0, 1.0, name="a"), Integer(1, 9, name="b")])
+        opt = Optimizer(space, n_initial_points=2, random_state=0)
+        x = opt.ask()
+        opt.tell((np.float64(x[0]), float(x[1])), 0.5)  # tuple + int→float drift
+        assert not opt._pending
+        assert opt.result().n_evaluations == 1
+
+    def test_exact_decoded_match_beats_unit_distance(self):
+        space = Space([Integer(0, 20, name="k")])
+        opt = Optimizer(space, n_initial_points=1, random_state=0)
+        # Two pending entries decoding to different integers whose unit
+        # coords are far from the told slice-centre: exact match must win.
+        opt._pending = [
+            (np.array([0.21]), [4], "LCB"),
+            (np.array([0.40]), [8], "EI"),
+        ]
+        opt.tell([8], 3.0)
+        assert len(opt._pending) == 1
+        assert opt._pending[0][2] == "LCB"
+
+
+class TestAskFallbackDedup:
+    """The initial-design wrap and random fallback must respect taken points."""
+
+    def test_replayed_design_points_not_reasked(self):
+        space = Space([Real(0.0, 1.0, name="a"), Real(0.0, 1.0, name="b")])
+        probe = Optimizer(space, n_initial_points=4, random_state=7)
+        design = [probe.ask() for _ in range(4)]
+        opt = Optimizer(space, n_initial_points=4, random_state=7)
+        # Resume replay: the first two design points were already evaluated.
+        opt.tell(design[0], 1.0)
+        opt.tell(design[1], 2.0)
+        nxt = opt.ask()
+        for replayed in design[:2]:
+            assert np.max(np.abs(np.asarray(nxt) - np.asarray(replayed))) > 1e-6
+
+    def test_random_fallback_distinct_after_design_exhausted(self):
+        space = Space([Real(0.0, 1.0, name="a"), Real(0.0, 1.0, name="b")])
+        opt = Optimizer(space, n_initial_points=2, random_state=0)
+        points = [opt.ask() for _ in range(8)]  # 2 design + 6 random fallback
+        assert len({tuple(np.round(p, 6)) for p in points}) == 8
+
+
+class TestHedgeAccounting:
+    def _told_initial(self, opt, n=4):
+        for _ in range(n):
+            x = opt.ask()
+            opt.tell(x, 1.0)
+
+    def test_tell_unasked_point_leaves_gains_untouched(self):
+        """Resume replay tells points that were never asked this session."""
+        space = Space([Real(0.0, 1.0, name="a")])
+        opt = Optimizer(space, n_initial_points=2, random_state=0)
+        opt.tell([0.25], 0.9)
+        opt.tell([0.75], 0.1)
+        assert np.all(opt._gains == 0.0)
+        assert opt.result().fun == 0.1
+
+    def test_improving_hedge_tell_updates_one_gain(self):
+        space = Space([Real(0.0, 1.0, name="a"), Real(0.0, 1.0, name="b")])
+        opt = Optimizer(space, n_initial_points=2, acq_func="gp_hedge",
+                        random_state=3, acq_n_candidates=100)
+        self._told_initial(opt, 2)
+        x = opt.ask()
+        opt.tell(x, 0.0)  # strict improvement over the 1.0 incumbents
+        assert float(opt._gains.sum()) == pytest.approx(1.0)
+        assert (opt._gains > 0).sum() == 1
+
+    def test_batched_hedge_asks_account_gains(self):
+        space = Space([Real(0.0, 1.0, name="a"), Real(0.0, 1.0, name="b")])
+        opt = Optimizer(space, n_initial_points=2, acq_func="gp_hedge",
+                        random_state=5, acq_n_candidates=100)
+        self._told_initial(opt, 2)
+        batch = opt.ask(4)
+        assert len(opt._pending) == 4
+        for i, x in enumerate(batch):
+            opt.tell(x, 0.5 - 0.1 * i)
+        assert not opt._pending
+        assert float(opt._gains.sum()) > 0.0
+        assert np.all(opt._gains >= 0.0)

@@ -122,3 +122,59 @@ class TestSpace:
     def test_empty_space_rejected(self):
         with pytest.raises(ValidationError):
             Space([])
+
+
+class TestVectorizedTransforms:
+    """Batched transform/inverse_transform must agree with the scalar maps."""
+
+    def _space(self):
+        return Space([
+            Real(-2.0, 6.0, name="r"),
+            Real(1e-2, 1e2, prior="log-uniform", name="lg"),
+            Integer(3, 17, name="i"),
+            Categorical(["a", "b", "c"], name="c"),
+        ])
+
+    def test_transform_matches_scalar(self):
+        space = self._space()
+        points = [[-2.0, 0.01, 3, "a"], [6.0, 100.0, 17, "c"], [1.5, 1.0, 9, "b"]]
+        unit = space.transform(points)
+        assert unit.shape == (3, 4)
+        for i, point in enumerate(points):
+            for j, (dim, value) in enumerate(zip(space.dimensions, point)):
+                assert unit[i, j] == pytest.approx(dim.to_unit(value))
+
+    def test_inverse_matches_scalar(self):
+        space = self._space()
+        rng = np.random.default_rng(0)
+        unit = rng.random((32, 4))
+        batch = space.inverse_transform(unit)
+        for row, point in zip(unit, batch):
+            expected = [dim.from_unit(u) for dim, u in zip(space.dimensions, row)]
+            # Floats may differ by an ulp between np.exp and math.exp.
+            assert point[0] == pytest.approx(expected[0], rel=1e-12)
+            assert point[1] == pytest.approx(expected[1], rel=1e-12)
+            assert point[2:] == expected[2:]
+
+    def test_inverse_clips_out_of_cube(self):
+        space = self._space()
+        batch = space.inverse_transform(np.array([[-0.5, 1.5, 1.0, -0.1]]))
+        assert batch[0][0] == -2.0
+        assert batch[0][1] == pytest.approx(100.0)
+        assert batch[0][2] == 17
+        assert batch[0][3] == "a"
+
+    def test_inverse_rejects_wrong_width(self):
+        with pytest.raises(ValidationError):
+            self._space().inverse_transform(np.zeros((2, 3)))
+
+    def test_integer_types_are_native(self):
+        space = Space([Integer(0, 5, name="k")])
+        batch = space.inverse_transform(np.array([[0.0], [0.999]]))
+        assert [type(row[0]) for row in batch] == [int, int]
+        assert [row[0] for row in batch] == [0, 5]
+
+    def test_categorical_transform_rejects_unknown(self):
+        space = Space([Categorical(["x", "y"], name="c")])
+        with pytest.raises(ValidationError):
+            space.transform([["z"]])

@@ -79,3 +79,26 @@ class TestRunUntil:
         env.timeout(1.0)
         env.run()
         assert env.now == 101.0
+
+
+class TestScheduleValidation:
+    """Non-finite delays would wedge the event heap or hang run()."""
+
+    def test_schedule_rejects_nan_and_inf(self):
+        env = simcore.Environment()
+        for bad in (float("nan"), float("inf"), -float("inf"), -1.0):
+            with pytest.raises(ValueError):
+                env.schedule(simcore.Event(env), delay=bad)
+
+    def test_timeout_rejects_nan_and_inf(self):
+        env = simcore.Environment()
+        for bad in (float("nan"), float("inf"), -0.5):
+            with pytest.raises(ValueError):
+                env.timeout(bad)
+
+    def test_finite_delays_still_accepted(self):
+        env = simcore.Environment()
+        env.timeout(0.0)
+        env.timeout(3.5)
+        env.run()
+        assert env.now == 3.5
