@@ -19,9 +19,15 @@ Subcommands::
 
     e2clab-repro report RUN_DIR [--top-k N]
         Render a human-readable run report (phase timeline, trial table,
-        slowest spans, metric rollups) from the observability artifacts an
-        ``optimize --trace`` campaign exported into its experiment
-        directory.
+        critical path, watchdog alerts, slowest spans, metric rollups)
+        from the observability artifacts an ``optimize --trace`` campaign
+        exported into its experiment directory.
+
+    e2clab-repro dashboard RUN_DIR [--out DIR]
+        Build the campaign-analytics artifacts from ``spans.jsonl``: a
+        self-contained ``timeline.html`` (per-slot utilization timeline,
+        critical-path attribution, alerts — no external assets) and a
+        Chrome-loadable ``trace_events.json``.
 
 Also reachable as ``python -m repro ...``.
 """
@@ -96,6 +102,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep = sub.add_parser("report", help="render a run report from exported artifacts")
     p_rep.add_argument("run_dir", help="experiment directory holding the artifacts")
     p_rep.add_argument("--top-k", type=int, default=10, help="how many slowest spans to list")
+
+    p_dash = sub.add_parser(
+        "dashboard", help="build timeline.html + trace_events.json from spans.jsonl"
+    )
+    p_dash.add_argument("run_dir", help="experiment directory holding spans.jsonl")
+    p_dash.add_argument(
+        "--out",
+        default=None,
+        help="directory to write the artifacts into (defaults to RUN_DIR)",
+    )
     return parser
 
 
@@ -147,10 +163,11 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     print(outcome.summary.render())
     if outcome.validation is not None:
         print(f"\nvalidation over {len(outcome.validation_runs)} runs: {outcome.validation}")
-    if conf.observability:
+    if conf.observability or conf.watchdog:
         print(
             f"\nobservability artifacts exported to {manager.run_dir} "
-            f"(render with: python -m repro report {manager.run_dir})"
+            f"(render with: python -m repro report {manager.run_dir} | "
+            f"python -m repro dashboard {manager.run_dir})"
         )
     return 0
 
@@ -160,6 +177,47 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     artifacts = load_run(args.run_dir)
     print(render_report(artifacts, top_k=args.top_k))
+    return 0
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.observability.analysis import (
+        TRACE_EVENTS_FILE,
+        analyze_spans,
+        write_trace_events,
+    )
+    from repro.observability.dashboard import TIMELINE_FILE, write_dashboard
+    from repro.observability.trace import load_spans
+    from repro.observability.watchdog import ALERTS_FILE, load_alerts
+
+    run_dir = Path(args.run_dir)
+    spans_path = run_dir / "spans.jsonl"
+    if not spans_path.exists():
+        raise SystemExit(
+            f"{spans_path} not found — run the campaign with --trace (or a "
+            "watchdog block) so spans are exported first"
+        )
+    out_dir = Path(args.out) if args.out is not None else run_dir
+    spans = load_spans(spans_path)
+    alerts_path = run_dir / ALERTS_FILE
+    alerts = (
+        [alert.to_dict() for alert in load_alerts(alerts_path)] if alerts_path.exists() else []
+    )
+    analysis = analyze_spans(spans)
+    timeline = write_dashboard(
+        analysis, out_dir / TIMELINE_FILE, title=run_dir.name, alerts=alerts
+    )
+    trace_events = write_trace_events(spans, out_dir / TRACE_EVENTS_FILE)
+    print(f"wrote {timeline}")
+    print(f"wrote {trace_events}")
+    print(
+        f"({len(analysis.trials)} trials over {analysis.lane_count} slots, "
+        f"slot idle {analysis.slot_idle_fraction:.0%}, "
+        f"critical-path idle {analysis.critical_path.idle_fraction:.0%}, "
+        f"{len(alerts)} alerts)"
+    )
     return 0
 
 
@@ -209,6 +267,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_calibration(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "dashboard":
+        return _cmd_dashboard(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

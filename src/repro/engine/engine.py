@@ -414,6 +414,11 @@ class IdentificationEngine:
                 registry.gauge(
                     "engine_pool_wait_mean_s", "mean wait for a pool thread", ("pool",)
                 ).set(waits.mean, pool=name)
+                registry.histogram(
+                    "engine_pool_wait_seconds",
+                    "distribution of waits for a pool thread",
+                    ("pool",),
+                ).observe(waits.mean, pool=name)
                 registry.counter(
                     "engine_pool_grants_total", "pool thread grants", ("pool",)
                 ).inc(stats.grants, pool=name)

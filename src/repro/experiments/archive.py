@@ -76,14 +76,24 @@ class ExperimentArchive:
 
     # -- campaign checkpoints (fault-tolerant resume) ----------------------------------
 
-    def store_checkpoint(self, records: list[dict[str, Any]]) -> Path:
+    def store_checkpoint(
+        self,
+        records: list[dict[str, Any]],
+        watchdog_state: dict[str, Any] | None = None,
+    ) -> Path:
         """Persist the finished-trial state for ``--resume``.
 
         The full list is rewritten each time (trial records are small JSON
         dicts), which keeps the checkpoint atomic at the file level: a resume
-        sees either the previous complete state or the new one.
+        sees either the previous complete state or the new one. When a live
+        watchdog is armed, its control state (fired alert keys, counts)
+        rides along under ``"watchdog"`` so a resumed campaign does not
+        re-fire alerts the crashed one already raised.
         """
-        return dump_json({"trials": records}, self.root / "checkpoint.json")
+        payload: dict[str, Any] = {"trials": records}
+        if watchdog_state is not None:
+            payload["watchdog"] = watchdog_state
+        return dump_json(payload, self.root / "checkpoint.json")
 
     def load_checkpoint(self) -> list[dict[str, Any]]:
         """Finished-trial records from the last checkpoint (empty if none)."""
@@ -92,6 +102,14 @@ class ExperimentArchive:
             return []
         data = load_json(path)
         return list(data.get("trials", []))
+
+    def load_watchdog_state(self) -> dict[str, Any] | None:
+        """The checkpointed watchdog control state, if any."""
+        path = self.root / "checkpoint.json"
+        if not path.exists():
+            return None
+        state = load_json(path).get("watchdog")
+        return dict(state) if isinstance(state, dict) else None
 
     # -- packing ("E2Clab provides an archive of the generated data") ------------------
 

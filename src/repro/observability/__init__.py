@@ -10,7 +10,15 @@ and a null metrics registry):
 - :mod:`repro.observability.metrics` — a counters/gauges/histograms registry
   with JSON(L) and Prometheus-text exporters;
 - :mod:`repro.observability.profile` — per-trial cost attribution (surrogate
-  fit vs. acquisition vs. evaluation) folded into the Phase III summary.
+  fit vs. acquisition vs. evaluation) folded into the Phase III summary;
+- :mod:`repro.observability.analysis` — campaign analytics derived from the
+  spans: per-slot utilization timelines, Chrome ``trace_event`` export, and
+  critical-path latency attribution;
+- :mod:`repro.observability.watchdog` — a live anomaly watchdog on the span
+  stream (stragglers, objective stalls/regressions, pool saturation, fault
+  storms) emitting rate-limited structured alerts;
+- :mod:`repro.observability.dashboard` — a self-contained HTML timeline
+  (``python -m repro dashboard <run-dir>``), no external assets.
 
 ``python -m repro report <run-dir>`` renders the exported artifacts
 (:mod:`repro.observability.report`).
@@ -21,7 +29,7 @@ Typical use::
 
     tracer, registry = obs.enable()
     ... run an OptimizationManager campaign ...
-    obs.export(run_dir)       # spans.jsonl + metrics.json + metrics.prom
+    obs.export(run_dir)       # spans.jsonl + metrics + timeline + alerts
     obs.disable()
 """
 
@@ -29,6 +37,18 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.observability.analysis import (
+    CampaignAnalysis,
+    CriticalPath,
+    TrialBreakdown,
+    analyze_run,
+    analyze_spans,
+    compute_critical_path,
+    to_trace_events,
+    trial_breakdowns,
+    write_trace_events,
+)
+from repro.observability.dashboard import render_dashboard, write_dashboard
 from repro.observability.metrics import (
     Counter,
     Gauge,
@@ -49,6 +69,14 @@ from repro.observability.trace import (
     load_spans,
     set_tracer,
     tracing,
+)
+from repro.observability.watchdog import (
+    Alert,
+    CampaignWatchdog,
+    WatchdogConfig,
+    get_watchdog,
+    load_alerts,
+    set_watchdog,
 )
 
 __all__ = [
@@ -73,6 +101,23 @@ __all__ = [
     "RunArtifacts",
     "load_run",
     "render_report",
+    "CampaignAnalysis",
+    "CriticalPath",
+    "TrialBreakdown",
+    "analyze_run",
+    "analyze_spans",
+    "compute_critical_path",
+    "trial_breakdowns",
+    "to_trace_events",
+    "write_trace_events",
+    "render_dashboard",
+    "write_dashboard",
+    "Alert",
+    "CampaignWatchdog",
+    "WatchdogConfig",
+    "get_watchdog",
+    "set_watchdog",
+    "load_alerts",
     "enable",
     "disable",
     "export",
@@ -104,6 +149,31 @@ def export(run_dir: str | Path) -> list[Path]:
     tracer = get_tracer()
     if isinstance(tracer, RecordingTracer):
         written.append(tracer.export_jsonl(run_dir / "spans.jsonl"))
+        spans = tracer.finished()
+        if spans:
+            from repro.observability.analysis import TRACE_EVENTS_FILE
+            from repro.observability.dashboard import TIMELINE_FILE
+
+            written.append(write_trace_events(spans, run_dir / TRACE_EVENTS_FILE))
+            watchdog = get_watchdog()
+            alerts = (
+                [alert.to_dict() for alert in watchdog.alerts()]
+                if watchdog is not None
+                else []
+            )
+            written.append(
+                write_dashboard(
+                    analyze_spans(spans),
+                    run_dir / TIMELINE_FILE,
+                    title=run_dir.name,
+                    alerts=alerts,
+                )
+            )
+    watchdog = get_watchdog()
+    if watchdog is not None:
+        from repro.observability.watchdog import ALERTS_FILE
+
+        written.append(watchdog.export_jsonl(run_dir / ALERTS_FILE))
     registry = get_registry()
     if registry.enabled:
         written.append(registry.export_json(run_dir / "metrics.json"))

@@ -64,6 +64,13 @@ class _Instrument:
         with self._lock:
             return sorted(self._data.items())
 
+    def series(self) -> list[tuple[dict[str, str], Any]]:
+        """Public ``(labels, value)`` pairs; histogram values are snapshots."""
+        return [
+            (dict(zip(self.labelnames, key)), self._value_repr(value))
+            for key, value in self._series()
+        ]
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
@@ -170,6 +177,19 @@ class Histogram(_Instrument):
             if state is None:
                 return {"count": 0, "sum": 0.0, "mean": math.nan, "buckets": {}}
             return self._snapshot_locked(state)
+
+    def _series(self) -> list[tuple[LabelValues, Any]]:
+        # Copy each state under the lock so exporters never read a bucket
+        # list concurrently mutated by observe() on another thread.
+        with self._lock:
+            out: list[tuple[LabelValues, Any]] = []
+            for key, state in sorted(self._data.items()):
+                copy = _HistogramState(len(self.buckets))
+                copy.counts = list(state.counts)
+                copy.sum = state.sum
+                copy.count = state.count
+                out.append((key, copy))
+            return out
 
     def _snapshot_locked(self, state: _HistogramState) -> dict[str, Any]:
         cumulative = 0
@@ -304,6 +324,15 @@ class _NullInstrument:
 
     def value(self, **labels: Any) -> float:
         return math.nan
+
+    def snapshot(self, **labels: Any) -> dict[str, Any]:
+        return {"count": 0, "sum": 0.0, "mean": math.nan, "buckets": {}}
+
+    def series(self) -> list[tuple[dict[str, str], Any]]:
+        return []
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "kind": self.kind, "help": "", "labelnames": [], "series": []}
 
 
 _NULL_INSTRUMENT = _NullInstrument()

@@ -7,11 +7,13 @@ exported into its experiment directory —
 - ``metrics.json`` — the metrics-registry snapshot,
 - ``summary.json`` — the Phase III reproducibility summary,
 - ``manifest.json`` — provenance (seed, environment),
+- ``alerts.jsonl`` — the live watchdog's structured alerts,
 - ``<name>.jsonl`` — the trial runner's one-line-per-trial log,
 
-and renders a phase timeline, the trial table, the top-k slowest spans and
-metric rollups. Every section is optional: the report degrades gracefully
-when a run exported only some artifacts.
+and renders a phase timeline, the trial table, a critical-path latency
+attribution, watchdog alerts, the top-k slowest spans and metric rollups.
+Every section is optional: the report degrades gracefully when a run
+exported only some artifacts.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from typing import Any, Optional
 
 from repro.errors import ValidationError
 from repro.observability.trace import Span, load_spans
+from repro.observability.watchdog import ALERTS_FILE, load_alerts
 from repro.utils.tables import Table
 
 __all__ = ["RunArtifacts", "load_run", "render_report"]
@@ -46,6 +49,7 @@ class RunArtifacts:
     summary: dict[str, Any] = field(default_factory=dict)
     manifest: dict[str, Any] = field(default_factory=dict)
     trials: list[dict[str, Any]] = field(default_factory=list)
+    alerts: list[dict[str, Any]] = field(default_factory=list)
 
 
 def _load_json(path: Path) -> dict[str, Any]:
@@ -53,7 +57,9 @@ def _load_json(path: Path) -> dict[str, Any]:
 
 
 def _load_trials(root: Path) -> list[dict[str, Any]]:
-    reserved = {SPANS_FILE}
+    # alerts.jsonl records carry a trial_id inside their details and would
+    # otherwise be misread as trial-log lines.
+    reserved = {SPANS_FILE, ALERTS_FILE}
     trials: list[dict[str, Any]] = []
     for path in sorted(root.glob("*.jsonl")):
         if path.name in reserved:
@@ -83,6 +89,8 @@ def load_run(run_dir: str | Path) -> RunArtifacts:
     if (root / MANIFEST_FILE).exists():
         artifacts.manifest = _load_json(root / MANIFEST_FILE)
     artifacts.trials = _load_trials(root)
+    if (root / ALERTS_FILE).exists():
+        artifacts.alerts = [alert.to_dict() for alert in load_alerts(root / ALERTS_FILE)]
     if not (artifacts.spans or artifacts.summary or artifacts.trials or artifacts.metrics):
         raise ValidationError(
             f"{root} holds no observability artifacts "
@@ -241,6 +249,51 @@ def _render_summary(summary: dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def _render_critical_path(spans: list[Span]) -> str:
+    if not spans:
+        return ""
+    from repro.observability.analysis import analyze_spans
+
+    analysis = analyze_spans(spans)
+    if not analysis.trials:
+        return ""
+    critical = analysis.critical_path
+    lines = ["--- critical path (latency attribution) ---"]
+    horizon = critical.horizon_s
+    for segment, seconds in critical.segments.items():
+        if seconds <= 0:
+            continue
+        share = seconds / horizon if horizon > 0 else 0.0
+        lines.append(f"{segment + ':':<14s}{seconds:8.3f} s  ({share:.0%})")
+    idle_share = critical.idle_fraction
+    lines.append(f"{'idle:':<14s}{critical.idle_s:8.3f} s  ({idle_share:.0%})")
+    lines.append(
+        f"slots:        {analysis.lane_count} concurrent "
+        f"({analysis.slot_idle_fraction:.0%} slot-idle over {horizon:.3f} s)"
+    )
+    return "\n".join(lines)
+
+
+def _render_alerts(artifacts: RunArtifacts) -> str:
+    alerts = artifacts.alerts or artifacts.summary.get("alerts", {}).get("alerts", [])
+    if not alerts:
+        return ""
+    table = Table(
+        ["severity", "kind", "t_s", "message"],
+        title=f"--- watchdog alerts ({len(alerts)}) ---",
+    )
+    for alert in alerts:
+        table.add_row(
+            [
+                alert.get("severity", "?"),
+                alert.get("kind", "?"),
+                f"{float(alert.get('time_s', float('nan'))):.3f}",
+                alert.get("message", ""),
+            ]
+        )
+    return table.render()
+
+
 def render_report(artifacts: RunArtifacts, *, top_k: int = 10) -> str:
     """The full human-readable run report."""
     header = [f"=== run report: {artifacts.root} ==="]
@@ -254,6 +307,8 @@ def render_report(artifacts: RunArtifacts, *, top_k: int = 10) -> str:
         "\n".join(header),
         _render_summary(artifacts.summary),
         _render_timeline(artifacts.spans),
+        _render_critical_path(artifacts.spans),
+        _render_alerts(artifacts),
         _render_trials(artifacts),
         _render_slowest(artifacts.spans, top_k),
         _render_metrics(artifacts.metrics),

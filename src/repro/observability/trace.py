@@ -184,6 +184,12 @@ class Tracer:
         """Seconds since the tracer's epoch."""
         return 0.0
 
+    def subscribe(self, callback: Callable[[Any], None]) -> None:
+        """Register a live span consumer (no-op on the inert tracer)."""
+
+    def unsubscribe(self, callback: Callable[[Any], None]) -> None:
+        """Remove a live span consumer (no-op on the inert tracer)."""
+
 
 class NoopTracer(Tracer):
     """The default: records nothing, allocates nothing."""
@@ -202,6 +208,7 @@ class RecordingTracer(Tracer):
         self._next_id = 0
         self._finished: list[Span] = []
         self._stack = threading.local()
+        self._subscribers: list[Callable[[Span], None]] = []
 
     # -- clocks and ids -------------------------------------------------------
 
@@ -259,6 +266,26 @@ class RecordingTracer(Tracer):
             span.error = error
         with self._lock:
             self._finished.append(span)
+            subscribers = list(self._subscribers) if self._subscribers else None
+        if subscribers is not None:
+            for callback in subscribers:
+                try:
+                    callback(span)
+                except Exception:
+                    # A broken consumer (e.g. a watchdog rule) must never take
+                    # down the instrumented campaign.
+                    pass
+
+    def subscribe(self, callback: Callable[[Span], None]) -> None:
+        """Stream every finished span to ``callback`` as it completes."""
+        with self._lock:
+            if callback not in self._subscribers:
+                self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[Span], None]) -> None:
+        with self._lock:
+            if callback in self._subscribers:
+                self._subscribers.remove(callback)
 
     @contextmanager
     def span(

@@ -101,6 +101,11 @@ class OptimizerConf:
     #: deterministic fault-injection rates (see ``repro.faults.FaultSpec``),
     #: e.g. ``{"transient": 0.2, "straggler": 0.1}``. Empty disables.
     faults: dict[str, Any] = field(default_factory=dict)
+    #: live-watchdog thresholds (see ``repro.observability.WatchdogConfig``),
+    #: e.g. ``{"straggler_zscore": 3.0, "stall_patience": 10}``. A non-empty
+    #: block arms the watchdog (and implies span recording for its stream);
+    #: pass ``{"enabled": True}`` to arm it with pure defaults.
+    watchdog: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.variables:
@@ -121,6 +126,8 @@ class OptimizerConf:
             raise ValidationError("checkpoint_every must be >= 1")
         if self.faults:
             self.build_fault_injector()  # validate rates early
+        if self.watchdog:
+            self.build_watchdog()  # validate thresholds early
 
     # -- constructors ----------------------------------------------------------------
 
@@ -199,6 +206,16 @@ class OptimizerConf:
         spec = dict(self.faults)
         spec.setdefault("seed", self.seed or 0)
         return FaultInjector(FaultSpec.from_dict(spec))
+
+    def build_watchdog(self) -> "Any | None":
+        """A configured live watchdog, or ``None`` when the block is empty."""
+        if not self.watchdog:
+            return None
+        from repro.observability.watchdog import CampaignWatchdog, WatchdogConfig
+
+        spec = dict(self.watchdog)
+        spec.pop("enabled", None)  # {"enabled": True} arms pure defaults
+        return CampaignWatchdog(WatchdogConfig.from_dict(spec))
 
     def algorithm_info(self) -> dict[str, Any]:
         info = {"search": self.algorithm.get("search", "surrogate")}

@@ -143,12 +143,30 @@ class OptimizationManager:
         With ``conf.observability`` set, a recording tracer and a live
         metrics registry are installed for the duration of the run and the
         resulting artifacts (``spans.jsonl``, ``metrics.json``,
-        ``metrics.prom``) are exported into the experiment directory, ready
-        for ``python -m repro report``.
+        ``metrics.prom``, ``trace_events.json``, ``timeline.html``) are
+        exported into the experiment directory, ready for
+        ``python -m repro report`` / ``python -m repro dashboard``.
+
+        A non-empty ``conf.watchdog`` block additionally arms a live
+        :class:`~repro.observability.watchdog.CampaignWatchdog` on the span
+        stream (implying span recording): its alerts are folded into the
+        Phase III summary, exported as ``alerts.jsonl``, and checkpointed so
+        a resumed campaign does not re-fire them.
         """
-        observing = self.conf.observability
+        from repro.observability.watchdog import set_watchdog
+
+        watchdog = self.conf.build_watchdog()
+        observing = self.conf.observability or watchdog is not None
         if observing:
             observability.enable()
+        if watchdog is not None:
+            set_watchdog(watchdog)
+            watchdog.attach(get_tracer())
+            archive = self.optimization.archive
+            # Resume: restore fired-alert state, then rebuild the straggler /
+            # objective baselines from the trials the searcher will replay.
+            watchdog.load_state(archive.load_watchdog_state())
+            watchdog.seed_from_trials(archive.load_checkpoint())
         try:
             tracer = get_tracer()
             with tracer.span("phase:optimize"):
@@ -165,6 +183,9 @@ class OptimizationManager:
                 try:
                     self.optimization.export_observability()
                 finally:
+                    if watchdog is not None:
+                        watchdog.detach()
+                        set_watchdog(None)
                     observability.disable()
 
     def validate(

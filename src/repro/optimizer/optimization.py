@@ -206,6 +206,15 @@ class Optimization(abc.ABC):
 
             resume_trials = [Trial.from_dict(r) for r in self.archive.load_checkpoint()]
 
+        def checkpoint(records: list[dict[str, Any]]) -> Path:
+            # When a live watchdog is armed, its control state rides along in
+            # checkpoint.json so --resume does not re-fire old alerts.
+            from repro.observability.watchdog import get_watchdog
+
+            watchdog = get_watchdog()
+            state = watchdog.state_dict() if watchdog is not None else None
+            return self.archive.store_checkpoint(records, watchdog_state=state)
+
         tracer = self.tracer
         start = time.perf_counter()
         runner = TrialRunner(
@@ -223,7 +232,7 @@ class Optimization(abc.ABC):
             retry_backoff_s=retry_backoff_s,
             trial_timeout_s=trial_timeout_s,
             resume_trials=resume_trials,
-            checkpoint=self.archive.store_checkpoint,
+            checkpoint=checkpoint,
             checkpoint_every=checkpoint_every,
             # With tracing on, also drop the one-line-per-trial log next to
             # the other artifacts so the run report can render a trial table.
@@ -243,6 +252,11 @@ class Optimization(abc.ABC):
             registry.gauge("repro_best_value", "incumbent objective value").set(
                 summary.best_value
             )
+        from repro.observability.watchdog import get_watchdog
+
+        watchdog = get_watchdog()
+        if watchdog is not None:
+            summary.alerts = watchdog.summary()
         with self._lock:
             self.archive.store_summary(summary.to_dict())
         self.export_observability()

@@ -40,6 +40,10 @@ class ReproducibilitySummary:
     #: (see :mod:`repro.observability.profile`) — a summary that explains
     #: its own cost.
     cost_profile: dict[str, Any] = field(default_factory=dict)
+    #: live-watchdog rollup (``CampaignWatchdog.summary()``): alert totals
+    #: by kind plus the structured alerts themselves. Empty when no
+    #: watchdog was armed.
+    alerts: dict[str, Any] = field(default_factory=dict)
 
     @property
     def n_evaluations(self) -> int:
@@ -56,6 +60,7 @@ class ReproducibilitySummary:
             "wall_clock_s": self.wall_clock_s,
             "convergence_evaluation": self.convergence_evaluation,
             "cost_profile": dict(self.cost_profile),
+            "alerts": dict(self.alerts),
         }
 
     def render(self) -> str:
@@ -91,6 +96,12 @@ class ReproducibilitySummary:
                 lines.append(
                     f"fault tolerance: {retries} retried attempts, {timeouts} timeouts"
                 )
+        if self.alerts:
+            by_kind = self.alerts.get("by_kind", {})
+            detail = ", ".join(f"{k}={v}" for k, v in by_kind.items()) or "none"
+            lines.append(
+                f"watchdog:     {self.alerts.get('total', 0)} alerts ({detail})"
+            )
         lines.append(f"best value:   {self.best_value:.6g}")
         table = Table(["variable", "best value"], title="best configuration")
         for key, value in self.best_configuration.items():

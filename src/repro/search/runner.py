@@ -320,11 +320,36 @@ class TrialRunner:
             return
         with self._lock:
             parent = self._trial_spans.get(trial.trial_id)
+        # Children finish (and stream to watchdog subscribers) before their
+        # trial parent, so each carries the trial identity itself.
         span = tracer.start_span(
-            "execute", parent=parent, start=tracer.clock() - duration_s
+            "execute",
+            parent=parent,
+            start=tracer.clock() - duration_s,
+            trial_id=trial.trial_id,
         )
         span.set("status", trial.status.value)
         tracer.end_span(span, error=trial.error)
+
+    def _record_queue_wait(self, trial: Trial) -> None:
+        """Record the executor queue wait (submit → worker pickup)."""
+        submitted = getattr(trial, "_submitted", None)
+        if submitted is None:
+            return
+        wait_s = time.perf_counter() - submitted
+        trial.cost["queue_wait_s"] = wait_s
+        tracer = self._tracer
+        if not tracer.enabled:
+            return
+        with self._lock:
+            parent = self._trial_spans.get(trial.trial_id)
+        span = tracer.start_span(
+            "queue-wait",
+            parent=parent,
+            start=tracer.clock() - wait_s,
+            trial_id=trial.trial_id,
+        )
+        tracer.end_span(span)
 
     # -- single-trial execution -----------------------------------------------------
 
@@ -452,7 +477,10 @@ class TrialRunner:
         with self._lock:
             parent = self._trial_spans.get(trial.trial_id)
         span = tracer.start_span(
-            "execute", parent=parent, start=tracer.clock() - (self.trial_timeout_s or 0.0)
+            "execute",
+            parent=parent,
+            start=tracer.clock() - (self.trial_timeout_s or 0.0),
+            trial_id=trial.trial_id,
         )
         span.set("status", "timeout")
         tracer.end_span(span, error=trial.error)
@@ -491,7 +519,10 @@ class TrialRunner:
                     with self._lock:
                         parent = self._trial_spans.get(trial.trial_id)
                     span = tracer.start_span(
-                        "tell", parent=parent, start=tracer.clock() - trial.cost["tell_s"]
+                        "tell",
+                        parent=parent,
+                        start=tracer.clock() - trial.cost["tell_s"],
+                        trial_id=trial.trial_id,
                     )
                     tracer.end_span(span)
         finally:
@@ -616,6 +647,7 @@ class TrialRunner:
 
     def _submit(self, pool: Any, trial: Trial) -> Future:
         trial.status = TrialStatus.RUNNING
+        trial._submitted = time.perf_counter()  # type: ignore[attr-defined]
         if self.executor_kind == "process":
             trial._start = time.perf_counter()  # type: ignore[attr-defined]
             return pool.submit(
@@ -629,6 +661,7 @@ class TrialRunner:
         return pool.submit(self._run_threaded, trial)
 
     def _run_threaded(self, trial: Trial) -> None:
+        self._record_queue_wait(trial)
         self._execute_with_retry(trial)
 
     def _collect(self, future: Future, trial: Trial) -> None:

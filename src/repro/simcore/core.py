@@ -29,7 +29,15 @@ class LoopStats:
     than real time the simulation ran (``sim/wall`` ratio).
     """
 
-    __slots__ = ("events_processed", "max_queue_depth", "wall_s", "sim_start", "_wall_start")
+    __slots__ = (
+        "events_processed",
+        "max_queue_depth",
+        "wall_s",
+        "sim_start",
+        "first_event_time",
+        "last_event_time",
+        "_wall_start",
+    )
 
     def __init__(self, sim_start: float = 0.0) -> None:
         self.events_processed = 0
@@ -37,19 +45,28 @@ class LoopStats:
         #: wall seconds spent inside :meth:`Environment.run` so far.
         self.wall_s = 0.0
         self.sim_start = sim_start
+        #: simulated times of the first/last processed event — the busy
+        #: stretch of the run, which the timeline layer uses to distinguish
+        #: warm-up/drain idle time from actual event processing.
+        self.first_event_time: Optional[float] = None
+        self.last_event_time: Optional[float] = None
         self._wall_start: Optional[float] = None
 
     def snapshot(self, now: float) -> dict[str, float]:
         """Current stats plus the simulated-vs-wall speed ratio."""
         sim_advanced = now - self.sim_start
         ratio = sim_advanced / self.wall_s if self.wall_s > 0 else float("inf")
-        return {
+        snapshot = {
             "events_processed": self.events_processed,
             "max_queue_depth": self.max_queue_depth,
             "wall_s": self.wall_s,
             "sim_advanced": sim_advanced,
             "sim_wall_ratio": ratio,
         }
+        if self.first_event_time is not None and self.last_event_time is not None:
+            snapshot["first_event_time"] = self.first_event_time
+            snapshot["last_event_time"] = self.last_event_time
+        return snapshot
 
 
 class Environment:
@@ -113,6 +130,9 @@ class Environment:
         stats = self._stats
         if stats is not None:
             stats.events_processed += 1
+            if stats.first_event_time is None:
+                stats.first_event_time = self._now
+            stats.last_event_time = self._now
             depth = len(self._queue) + 1
             if depth > stats.max_queue_depth:
                 stats.max_queue_depth = depth

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import ReservationError
 
@@ -39,6 +39,11 @@ class Reservation:
     testbed: "Testbed"
     nodes: dict[str, list["Node"]] = field(default_factory=dict)
     released: bool = False
+    #: manual-lifecycle ``reservation:<job_id>`` span (set by Testbed.reserve
+    #: when tracing is on); ended at release so the campaign timeline shows
+    #: how long the nodes were held.
+    _span: Any = field(default=None, repr=False, compare=False)
+    _tracer: Any = field(default=None, repr=False, compare=False)
 
     @property
     def node_count(self) -> int:
@@ -64,6 +69,18 @@ class Reservation:
             for node in ns:
                 node.release()
         self.released = True
+        if self._span is not None and self._tracer is not None:
+            self._tracer.end_span(self._span)
+            self._span = None
+        from repro.observability.metrics import get_registry
+
+        registry = get_registry()
+        if registry.enabled:
+            gauge = registry.gauge(
+                "testbed_nodes_reserved", "nodes currently held by reservations", ("cluster",)
+            )
+            for cluster_name, nodes in self.nodes.items():
+                gauge.dec(len(nodes), cluster=cluster_name)
 
     def __enter__(self) -> "Reservation":
         return self

@@ -121,6 +121,27 @@ class Testbed:
             for node in nodes:
                 node.reserve(job_id)
             reservation.nodes.setdefault(req.cluster, []).extend(nodes)
+
+        from repro.observability.metrics import get_registry
+        from repro.observability.trace import get_tracer
+
+        tracer = get_tracer()
+        if tracer.enabled:
+            # A manual-lifecycle span spanning reserve → release, so the
+            # campaign timeline shows testbed occupancy alongside the trials.
+            reservation._span = tracer.start_span(
+                f"reservation:{job_id}",
+                nodes=reservation.node_count,
+                clusters=",".join(sorted(reservation.nodes)),
+            )
+            reservation._tracer = tracer
+        registry = get_registry()
+        if registry.enabled:
+            gauge = registry.gauge(
+                "testbed_nodes_reserved", "nodes currently held by reservations", ("cluster",)
+            )
+            for cluster_name, nodes in reservation.nodes.items():
+                gauge.inc(len(nodes), cluster=cluster_name)
         return reservation
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -491,3 +491,115 @@ class TestManagerEndToEnd:
         assert "=== run report" in text
         assert "obs_e2e" in text
         assert "top 3 slowest spans" in text
+
+
+class TestNullInstrumentParity:
+    """Every read-side method a real instrument has must exist on the null one."""
+
+    def test_null_histogram_snapshot(self):
+        reg = NullRegistry()
+        snap = reg.histogram("h").snapshot()
+        assert snap["count"] == 0
+        assert snap["sum"] == 0.0
+        assert math.isnan(snap["mean"])
+        assert snap["buckets"] == {}
+        # labeled access works too (gauges/counters share the instrument).
+        assert reg.gauge("g").snapshot(pool="http")["count"] == 0
+
+    def test_null_series_and_to_dict(self):
+        reg = NullRegistry()
+        assert reg.counter("c").series() == []
+        assert reg.counter("c").to_dict()["series"] == []
+
+
+class TestPrometheusHistogramBuckets:
+    def test_labeled_buckets_are_cumulative_and_scrapable(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("wait_seconds", "waits", ("pool",), buckets=(0.1, 1.0, 10.0))
+        for pool, values in {
+            "http": (0.05, 0.5, 0.7, 5.0, 100.0),
+            "extract": (0.01, 0.02),
+        }.items():
+            for v in values:
+                h.observe(v, pool=pool)
+        text = reg.render_prometheus()
+        # per-label cumulative series, monotonically non-decreasing per le.
+        for pool, counts in {"http": [1, 3, 4, 5], "extract": [2, 2, 2, 2]}.items():
+            rendered = []
+            for le in ("0.1", "1.0", "10.0", "+Inf"):
+                line = next(
+                    ln
+                    for ln in text.splitlines()
+                    if ln.startswith("wait_seconds_bucket")
+                    and f'le="{le}"' in ln
+                    and f'pool="{pool}"' in ln
+                )
+                rendered.append(int(float(line.rsplit(" ", 1)[1])))
+            assert rendered == counts
+            assert rendered == sorted(rendered)  # cumulative => monotone
+            # +Inf equals the series count line.
+            count_line = next(
+                ln
+                for ln in text.splitlines()
+                if ln.startswith("wait_seconds_count") and f'pool="{pool}"' in ln
+            )
+            assert int(float(count_line.rsplit(" ", 1)[1])) == rendered[-1]
+
+    def test_series_copies_state_for_exporters(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        ((labels, value),) = h.series()
+        assert labels == {}
+        assert value["count"] == 1
+        h.observe(0.6)  # the exported snapshot must be a copy, not a view
+        assert value["count"] == 1
+
+
+class TestQueueWaitSpans:
+    def test_threaded_runner_emits_queue_wait(self):
+        from repro.search import TrialRunner
+
+        tracer = RecordingTracer()
+        set_tracer(tracer)
+        runner = TrialRunner(
+            lambda config: {"objective": float(config["a"])},
+            RandomSearch(_space(), seed=5),
+            metric="objective",
+            num_samples=4,
+            executor="thread",
+            max_workers=2,
+        )
+        runner.run()
+        waits = [s for s in tracer.finished() if s.name == "queue-wait"]
+        assert waits, "threaded runs must record queue-wait spans"
+        assert all("trial_id" in s.attributes for s in waits)
+        assert all(s.duration_s >= 0 for s in waits)
+        trials = [s for s in tracer.finished() if s.name.startswith("trial:")]
+        assert len(waits) == len(trials)
+
+
+class TestExportedAnalyticsArtifacts:
+    def test_traced_export_includes_timeline_and_trace_events(self, tmp_path):
+        from repro.optimizer import OptimizationManager, OptimizerConf
+
+        conf = OptimizerConf.from_dict(
+            {
+                "name": "artifacts",
+                "variables": [{"name": "x", "type": "integer", "low": 0, "high": 5}],
+                "objectives": [{"metric": "latency", "mode": "min"}],
+                "algorithm": {"search": "random"},
+                "num_samples": 3,
+                "seed": 0,
+                "workdir": str(tmp_path),
+                "observability": True,
+            }
+        )
+        manager = OptimizationManager(
+            conf, evaluator=lambda config, **kw: {"latency": 1.0}
+        )
+        manager.run()
+        assert (manager.run_dir / "trace_events.json").exists()
+        assert (manager.run_dir / "timeline.html").exists()
+        document = json.loads((manager.run_dir / "trace_events.json").read_text())
+        assert document["traceEvents"]
