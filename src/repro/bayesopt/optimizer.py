@@ -46,6 +46,7 @@ from repro.bayesopt.space import Dimension, Space
 from repro.errors import OptimizationError, ValidationError
 from repro.sampling import get_sampler
 from repro.surrogate import SurrogateModel, get_surrogate
+from repro.utils.serialization import canonical_config
 
 __all__ = ["Optimizer", "OptimizeResult"]
 
@@ -83,18 +84,15 @@ class OptimizeResult:
         }
 
 
-def _values_equal(a: Any, b: Any) -> bool:
-    """Equality robust to int/float and numpy-scalar representation drift."""
-    a_num = isinstance(a, (int, float, np.integer, np.floating)) and not isinstance(a, bool)
-    b_num = isinstance(b, (int, float, np.integer, np.floating)) and not isinstance(b, bool)
-    if a_num and b_num:
-        return float(a) == float(b)
-    return bool(a == b)
-
-
 def _points_equal(a: Sequence[Any], b: Sequence[Any]) -> bool:
-    """Element-wise point equality tolerant of list/tuple and numeric drift."""
-    return len(a) == len(b) and all(_values_equal(u, v) for u, v in zip(a, b))
+    """Element-wise point equality tolerant of list/tuple and numeric drift.
+
+    Both points go through the same canonicalization as the evaluation
+    cache key (:func:`repro.utils.serialization.canonical_config`), so
+    checkpoint replay matching and cache identity cannot drift apart —
+    ``5`` matches ``5.0``, tuples match lists, numpy scalars match both.
+    """
+    return canonical_config(list(a)) == canonical_config(list(b))
 
 
 class Optimizer:

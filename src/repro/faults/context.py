@@ -13,7 +13,13 @@ from __future__ import annotations
 
 import threading
 
-__all__ = ["current_attempt", "set_current_attempt"]
+__all__ = [
+    "current_attempt",
+    "set_current_attempt",
+    "reset_injection_flag",
+    "mark_injection",
+    "injection_occurred",
+]
 
 _state = threading.local()
 
@@ -26,3 +32,23 @@ def set_current_attempt(attempt: int) -> None:
 def current_attempt() -> int:
     """The retry attempt index of the trial executing on this thread."""
     return getattr(_state, "attempt", 0)
+
+
+def reset_injection_flag() -> None:
+    """Clear the injected-fault marker before an attempt starts."""
+    _state.injected = False
+
+
+def mark_injection() -> None:
+    """Record that a fault was injected into the attempt on this thread.
+
+    The evaluation cache consults this (via :func:`injection_occurred`)
+    to refuse admission of fault-tainted results: a straggler-delayed or
+    link-degraded measurement must never be served as a clean hit later.
+    """
+    _state.injected = True
+
+
+def injection_occurred() -> bool:
+    """Whether the attempt running on this thread suffered an injection."""
+    return getattr(_state, "injected", False)

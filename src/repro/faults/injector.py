@@ -30,7 +30,7 @@ from typing import Any, Callable, Mapping, Optional
 import numpy as np
 
 from repro.errors import FaultError, ValidationError
-from repro.faults.context import current_attempt
+from repro.faults.context import current_attempt, mark_injection
 from repro.utils.seeding import derive_seed
 
 __all__ = [
@@ -156,6 +156,7 @@ class FaultInjector:
             kind = self.decide(config)
             if kind is not None:
                 self._record(kind)
+                mark_injection()
             if kind == "transient":
                 raise TransientFault(
                     f"injected transient evaluator failure (attempt {current_attempt()})"

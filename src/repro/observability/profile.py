@@ -38,6 +38,8 @@ class CostBreakdown:
     #: fault-tolerance tallies: attempts retried / attempts timed out.
     retries: int = 0
     timeouts: int = 0
+    #: trials served from the evaluation cache instead of re-simulated.
+    cache_hits: int = 0
 
     @property
     def total_s(self) -> float:
@@ -67,6 +69,7 @@ class CostBreakdown:
             "tell_s": self.tell_s,
             "retries": self.retries,
             "timeouts": self.timeouts,
+            "cache_hits": self.cache_hits,
             "fractions": self.fractions(),
             "mean_per_trial": per_trial,
         }
@@ -92,4 +95,5 @@ def aggregate_costs(costs: Iterable[Mapping[str, float]]) -> CostBreakdown:
         out.tell_s += float(cost.get("tell_s", 0.0))
         out.retries += int(cost.get("retries", 0))
         out.timeouts += int(cost.get("timeouts", 0))
+        out.cache_hits += int(cost.get("cache_hit", 0))
     return out

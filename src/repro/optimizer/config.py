@@ -106,6 +106,12 @@ class OptimizerConf:
     #: block arms the watchdog (and implies span recording for its stream);
     #: pass ``{"enabled": True}`` to arm it with pure defaults.
     watchdog: dict[str, Any] = field(default_factory=dict)
+    #: evaluation memoization (see ``repro.search.evalcache.EvalCache``),
+    #: e.g. ``{"enabled": True, "min_replicates": 1}``. Duplicate
+    #: configurations proposed by the search are then served from the cache
+    #: instead of re-simulated; the cache persists as ``evalcache.jsonl`` in
+    #: the run directory so ``--resume`` starts warm. Empty disables.
+    eval_cache: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.variables:
@@ -128,6 +134,8 @@ class OptimizerConf:
             self.build_fault_injector()  # validate rates early
         if self.watchdog:
             self.build_watchdog()  # validate thresholds early
+        if self.eval_cache:
+            self.build_eval_cache()  # validate the block early
 
     # -- constructors ----------------------------------------------------------------
 
@@ -206,6 +214,33 @@ class OptimizerConf:
         spec = dict(self.faults)
         spec.setdefault("seed", self.seed or 0)
         return FaultInjector(FaultSpec.from_dict(spec))
+
+    def build_eval_cache(self, path: str | Path | None = None) -> "Any | None":
+        """A memoizing :class:`~repro.search.evalcache.EvalCache`, or ``None``.
+
+        The cache key covers the configuration *and* a fingerprint of
+        everything else that determines a result — the conf name, the
+        campaign seed, and any user-supplied ``fingerprint`` entry — so two
+        campaigns with different seeds never share entries.
+        """
+        if not self.eval_cache:
+            return None
+        spec = dict(self.eval_cache)
+        if not spec.pop("enabled", True):
+            return None
+        from repro.search.evalcache import EvalCache
+
+        fingerprint = {
+            "name": self.name,
+            "seed": self.seed,
+            "extra": spec.pop("fingerprint", None),
+        }
+        min_replicates = int(spec.pop("min_replicates", 1))
+        if spec:
+            raise ValidationError(f"unknown eval_cache keys: {sorted(spec)}")
+        return EvalCache(
+            path=path, fingerprint=fingerprint, min_replicates=min_replicates
+        )
 
     def build_watchdog(self) -> "Any | None":
         """A configured live watchdog, or ``None`` when the block is empty."""

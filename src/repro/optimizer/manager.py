@@ -62,6 +62,9 @@ class CallableOptimization(Optimization):
             from repro.search.algos import ConcurrencyLimiter
 
             search = ConcurrencyLimiter(search, conf.max_concurrent)
+        # The cache's JSONL ledger lives with the campaign's other artifacts,
+        # so a resumed run re-opens it warm.
+        eval_cache = conf.build_eval_cache(path=self.archive.root / "evalcache.jsonl")
         return self.execute(
             num_samples=conf.num_samples,
             search_alg=search,
@@ -75,6 +78,7 @@ class CallableOptimization(Optimization):
             trial_timeout_s=conf.trial_timeout_s,
             resume=self._resume,
             checkpoint_every=conf.checkpoint_every,
+            eval_cache=eval_cache,
         )
 
 

@@ -30,6 +30,7 @@ from repro.observability.trace import Tracer, get_tracer
 from repro.optimizer.problem import OptimizationProblem
 from repro.optimizer.summary import ReproducibilitySummary
 from repro.search.algos import ConcurrencyLimiter, SearchAlgorithm, SurrogateSearch
+from repro.search.evalcache import EvalCache
 from repro.search.runner import ExperimentAnalysis, TrialRunner
 from repro.search.schedulers import TrialScheduler
 
@@ -167,6 +168,7 @@ class Optimization(abc.ABC):
         trial_timeout_s: float | None = None,
         resume: bool = False,
         checkpoint_every: int = 1,
+        eval_cache: EvalCache | None = None,
     ) -> ReproducibilitySummary:
         """Run the optimization cycle and emit the Phase III summary.
 
@@ -234,6 +236,7 @@ class Optimization(abc.ABC):
             resume_trials=resume_trials,
             checkpoint=checkpoint,
             checkpoint_every=checkpoint_every,
+            eval_cache=eval_cache,
             # With tracing on, also drop the one-line-per-trial log next to
             # the other artifacts so the run report can render a trial table.
             log_dir=str(self.archive.root) if tracer.enabled else None,

@@ -18,6 +18,7 @@ from repro.optimizer.summary import ReproducibilitySummary
 from repro.plantnet.configs import paper_problem
 from repro.plantnet.scenario import PlantNetScenario
 from repro.search.algos import ConcurrencyLimiter, SurrogateSearch
+from repro.search.evalcache import EvalCache
 from repro.search.schedulers import AsyncHyperBandScheduler
 
 __all__ = ["PlantNetOptimization"]
@@ -53,6 +54,9 @@ class PlantNetOptimization(Optimization):
         params: EngineModelParams | None = None,
         workdir: str | Path = ".repro-optimizations",
         seed: int = 0,
+        warm_reuse: bool = True,
+        fast_lane: bool = True,
+        eval_cache: bool = True,
     ) -> None:
         super().__init__(
             paper_problem(),
@@ -76,7 +80,10 @@ class PlantNetOptimization(Optimization):
             repetitions=repetitions,
             base_seed=seed,
             use_testbed=True,
+            warm_reuse=warm_reuse,
+            fast_lane=fast_lane,
         )
+        self.use_eval_cache = bool(eval_cache)
 
     # -- Listing 1 line 31: deploy the configs on the testbed ------------------------
 
@@ -103,20 +110,37 @@ class PlantNetOptimization(Optimization):
         )
         limited = ConcurrencyLimiter(algo, max_concurrent=self.max_concurrent)
         scheduler = AsyncHyperBandScheduler(mode="min")
-        return self.execute(
-            num_samples=self.num_samples,
-            search_alg=limited,
-            scheduler=scheduler,
-            executor=self.executor,
-            max_workers=self.max_concurrent,
-            algorithm_info={
-                "search": "SurrogateSearch (SkOptSearch analogue)",
-                "base_estimator": "ET",
-                "n_initial_points": self.n_initial_points,
-                "initial_point_generator": "lhs",
-                "acq_func": "gp_hedge",
-                "max_concurrent": self.max_concurrent,
-                "scheduler": "AsyncHyperBandScheduler",
-            },
-            sampling_info={"generator": "lhs", "n_points": self.n_initial_points},
-        )
+        cache = None
+        if self.use_eval_cache:
+            # Key = canonical thread-pool config + the scenario fingerprint
+            # (seeds, durations, model params) + the workload intensity.
+            cache = EvalCache(
+                path=self.archive.root / "evalcache.jsonl",
+                fingerprint={
+                    "scenario": self.scenario.fingerprint(),
+                    "simultaneous_requests": self.simultaneous_requests,
+                },
+            )
+        try:
+            return self.execute(
+                num_samples=self.num_samples,
+                search_alg=limited,
+                scheduler=scheduler,
+                executor=self.executor,
+                max_workers=self.max_concurrent,
+                algorithm_info={
+                    "search": "SurrogateSearch (SkOptSearch analogue)",
+                    "base_estimator": "ET",
+                    "n_initial_points": self.n_initial_points,
+                    "initial_point_generator": "lhs",
+                    "acq_func": "gp_hedge",
+                    "max_concurrent": self.max_concurrent,
+                    "scheduler": "AsyncHyperBandScheduler",
+                },
+                sampling_info={"generator": "lhs", "n_points": self.n_initial_points},
+                eval_cache=cache,
+            )
+        finally:
+            # Warm deployments outlive individual trials by design; the
+            # campaign end is where they are finally torn down.
+            self.scenario.close()

@@ -28,11 +28,12 @@ from typing import Any, Callable, Optional
 
 from repro.bayesopt.space import Space
 from repro.errors import TrialError, ValidationError
-from repro.faults.context import set_current_attempt
+from repro.faults.context import injection_occurred, reset_injection_flag, set_current_attempt
 from repro.observability.metrics import get_registry
 from repro.observability.profile import CostBreakdown, aggregate_costs
 from repro.observability.trace import Tracer, get_tracer
 from repro.search.algos import SearchAlgorithm, SurrogateSearch
+from repro.search.evalcache import EvalCache
 from repro.search.schedulers import FIFOScheduler, TrialDecision, TrialScheduler
 from repro.search.trial import Reporter, StopTrial, Trial, TrialStatus
 
@@ -67,37 +68,56 @@ def _normalize_result(raw: Any, metric: str) -> dict[str, float]:
 
 def _attempt_once(
     trainable: Trainable, config: dict[str, Any], timeout_s: float | None
-) -> tuple[str, Any]:
-    """One attempt in a worker process: ``("ok", raw) | ("error"|"timeout", msg)``."""
+) -> tuple[str, Any, bool]:
+    """One attempt in a worker process.
+
+    Returns ``(status, payload, injected)`` where status is ``"ok"`` /
+    ``"error"`` / ``"timeout"`` and ``injected`` records whether a fault
+    was injected into the attempt (read on the thread that ran it, since
+    the marker is thread-local).
+    """
     if timeout_s is None:
+        reset_injection_flag()
         try:
-            return ("ok", trainable(config))
+            raw = trainable(config)
+            return ("ok", raw, injection_occurred())
         except Exception as exc:  # noqa: BLE001 - reported to the parent
-            return ("error", f"{type(exc).__name__}: {exc}")
+            return ("error", f"{type(exc).__name__}: {exc}", injection_occurred())
         except BaseException as exc:  # SystemExit & friends: still one trial's error
             if isinstance(exc, KeyboardInterrupt):
                 raise
-            return ("error", f"{type(exc).__name__}: {exc}")
-    box: list[tuple[str, Any]] = []
+            return ("error", f"{type(exc).__name__}: {exc}", injection_occurred())
+    box: list[tuple[str, Any, bool]] = []
 
     def _worker() -> None:
         try:
             box.append(_attempt_once(trainable, config, None))
         except BaseException as exc:  # noqa: BLE001 - keep the box non-empty
-            box.append(("error", f"{type(exc).__name__}: {exc}"))
+            box.append(("error", f"{type(exc).__name__}: {exc}", True))
 
     worker = threading.Thread(target=_worker, daemon=True)
     worker.start()
     worker.join(timeout_s)
     if worker.is_alive():
-        return ("timeout", f"TrialTimeout: exceeded {timeout_s}s")
+        return ("timeout", f"TrialTimeout: exceeded {timeout_s}s", True)
     if not box:
-        return ("error", "trial worker exited without reporting a result")
+        return ("error", "trial worker exited without reporting a result", True)
     return box[0]
 
 
+#: per-worker registration installed by :func:`_pool_init` — the trainable
+#: is pickled once per worker process instead of once per submitted trial.
+_WORKER_TRAINABLE: Optional[Trainable] = None
+
+
+def _pool_init(trainable: Trainable) -> None:
+    """Process-pool initializer: register the trainable once per worker."""
+    global _WORKER_TRAINABLE
+    _WORKER_TRAINABLE = trainable
+
+
 def _process_entry(
-    trainable: Trainable,
+    trainable: Optional[Trainable],
     config: dict[str, Any],
     max_retries: int = 0,
     backoff_s: float = 0.0,
@@ -105,25 +125,47 @@ def _process_entry(
 ) -> dict[str, Any]:
     """Top-level entry for process executors (picklable).
 
+    ``trainable=None`` uses the per-worker registration from
+    :func:`_pool_init`, so each submission ships only the compact trial
+    spec (config + retry knobs), not a re-pickled trainable/conf object.
     The retry/timeout loop runs *inside* the worker so the parent's drain
     loop stays a plain future wait. Never raises for trainable failures —
-    the structured payload carries the outcome plus retry/timeout counts.
+    the structured payload carries the outcome plus retry/timeout counts
+    and a ``tainted`` marker (fault injected or timed out on the final
+    attempt) the evaluation cache uses to refuse admission.
     """
+    if trainable is None:
+        trainable = _WORKER_TRAINABLE
+        if trainable is None:  # pragma: no cover - defensive
+            return {"ok": False, "error": "no trainable registered in worker", "retries": 0, "timeouts": 0, "tainted": True}
     retries = 0
     timeouts = 0
     payload: Any = None
+    injected = False
     for attempt in range(int(max_retries) + 1):
         set_current_attempt(attempt)
-        status, payload = _attempt_once(trainable, config, timeout_s)
+        status, payload, injected = _attempt_once(trainable, config, timeout_s)
         if status == "ok":
-            return {"ok": True, "raw": payload, "retries": retries, "timeouts": timeouts}
+            return {
+                "ok": True,
+                "raw": payload,
+                "retries": retries,
+                "timeouts": timeouts,
+                "tainted": bool(injected or retries or timeouts),
+            }
         if status == "timeout":
             timeouts += 1
         if attempt < max_retries:
             retries += 1
             if backoff_s > 0:
                 time.sleep(backoff_s * (2**attempt))
-    return {"ok": False, "error": payload, "retries": retries, "timeouts": timeouts}
+    return {
+        "ok": False,
+        "error": payload,
+        "retries": retries,
+        "timeouts": timeouts,
+        "tainted": True,
+    }
 
 
 @dataclass
@@ -213,6 +255,7 @@ class TrialRunner:
         resume_trials: list[Trial] | None = None,
         checkpoint: Checkpointer | None = None,
         checkpoint_every: int = 1,
+        eval_cache: "EvalCache | None" = None,
     ) -> None:
         if mode not in ("min", "max"):
             raise ValidationError("mode must be 'min' or 'max'")
@@ -257,6 +300,8 @@ class TrialRunner:
         self._resume_trials: list[Trial] = list(resume_trials or [])
         self._checkpoint = checkpoint
         self.checkpoint_every = int(checkpoint_every)
+        #: memoizing trial cache consulted before executor submission.
+        self.eval_cache = eval_cache
         self._finished: list[Trial] = list(self._resume_trials)
         self._since_checkpoint = 0
         self._log_path = None
@@ -333,7 +378,7 @@ class TrialRunner:
 
     def _record_queue_wait(self, trial: Trial) -> None:
         """Record the executor queue wait (submit → worker pickup)."""
-        submitted = getattr(trial, "_submitted", None)
+        submitted = trial._submitted
         if submitted is None:
             return
         wait_s = time.perf_counter() - submitted
@@ -365,6 +410,7 @@ class TrialRunner:
     def _execute_inline(self, trial: Trial, attempt: int = 0) -> None:
         reporter = Reporter(trial, self._on_report, self._lock)
         set_current_attempt(attempt)
+        reset_injection_flag()
         start = time.perf_counter()
         trial.status = TrialStatus.RUNNING
         try:
@@ -382,6 +428,10 @@ class TrialRunner:
         except Exception as exc:  # noqa: BLE001 - recorded on the trial
             trial.error = f"{type(exc).__name__}: {exc}"
             trial.status = TrialStatus.ERROR
+        if injection_occurred():
+            # Read here, on the thread that ran the attempt (thread-local
+            # flag); the cache refuses results carrying this marker.
+            trial.cost["fault_injected"] = 1.0
         trial.runtime_s = time.perf_counter() - start
         trial.cost["evaluate_s"] = trial.runtime_s
         self._record_execute_span(trial, trial.runtime_s)
@@ -434,6 +484,11 @@ class TrialRunner:
                 trial.error = scratch.error
                 trial.status = scratch.status
                 total_runtime += scratch.runtime_s
+                # Mirror the final attempt's injected-fault marker.
+                if scratch.cost.get("fault_injected"):
+                    trial.cost["fault_injected"] = 1.0
+                else:
+                    trial.cost.pop("fault_injected", None)
             else:
                 timeouts += 1
                 trial.result = {}
@@ -484,6 +539,46 @@ class TrialRunner:
         )
         span.set("status", "timeout")
         tracer.end_span(span, error=trial.error)
+
+    # -- evaluation cache -------------------------------------------------------------
+
+    def _cache_lookup(self, trial: Trial) -> bool:
+        """Serve ``trial`` from the evaluation cache; True on a hit.
+
+        A hit completes the trial without touching the executor: the stored
+        (normalized) result is replayed, the evaluate cost is zero, and the
+        ``cache_hit`` cost marker feeds the Phase III profile.
+        """
+        if self.eval_cache is None:
+            return False
+        cached = self.eval_cache.lookup(trial.config)
+        if cached is None:
+            return False
+        trial.result = cached
+        trial.status = TrialStatus.TERMINATED
+        trial.runtime_s = 0.0
+        trial.cost["evaluate_s"] = 0.0
+        trial.cost["cache_hit"] = 1.0
+        self._record_execute_span(trial, 0.0)
+        return True
+
+    def _cache_store(self, trial: Trial) -> None:
+        """Admit a finished trial's result, unless tainted.
+
+        Only cleanly terminated results qualify; retried, timed-out,
+        fault-injected and early-stopped trials are refused, and a trial
+        that was itself served from the cache is not re-stored (it would
+        inflate the replicate count without a fresh measurement).
+        """
+        if self.eval_cache is None or trial.status is not TrialStatus.TERMINATED:
+            return
+        if trial.cost.get("cache_hit"):
+            return
+        cost = trial.cost
+        tainted = bool(
+            cost.get("retries") or cost.get("timeouts") or cost.get("fault_injected")
+        )
+        self.eval_cache.store(trial.config, trial.result, tainted=tainted)
 
     def _on_report(self, trial: Trial, step: int, value: float) -> bool:
         with self._scheduler_lock:
@@ -585,7 +680,9 @@ class TrialRunner:
                     self._open_trial(trial, suggest_s)
                     trials.append(trial)
                     created += 1
-                    self._execute_with_retry(trial)
+                    if not self._cache_lookup(trial):
+                        self._execute_with_retry(trial)
+                        self._cache_store(trial)
                     self._after_trial(trial)
             except TrialError as exc:
                 exc.analysis = self._analysis(trials, start)
@@ -593,8 +690,17 @@ class TrialRunner:
             self._flush_checkpoint()
             return self._analysis(trials, start)
 
-        pool_cls = ThreadPoolExecutor if self.executor_kind == "thread" else ProcessPoolExecutor
-        with pool_cls(max_workers=self.max_workers) as pool:
+        if self.executor_kind == "thread":
+            pool_cm = ThreadPoolExecutor(max_workers=self.max_workers)
+        else:
+            # The initializer registers the trainable once per worker, so
+            # each submission ships only a compact per-trial spec.
+            pool_cm = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_pool_init,
+                initargs=(self.trainable,),
+            )
+        with pool_cm as pool:
             futures: dict[Future, Trial] = {}
             exhausted = False
             try:
@@ -620,16 +726,26 @@ class TrialRunner:
                             self._open_trial(trial, suggest_s)
                             trials.append(trial)
                             created += 1
-                            futures[self._submit(pool, trial)] = trial
+                            if self._cache_lookup(trial):
+                                # Completed without occupying an executor
+                                # slot; tell the searcher right away.
+                                self._after_trial(trial)
+                            else:
+                                futures[self._submit(pool, trial)] = trial
                         if len(configs) < len(ids):
                             break  # limited/exhausted for now: drain first
 
                     if not futures:
-                        break
+                        if exhausted or created >= self.num_samples:
+                            break
+                        # Every config of a partial batch was served from
+                        # the cache: nothing to drain, go refill.
+                        continue
                     done, _ = wait(futures, return_when=FIRST_COMPLETED)
                     for future in done:
                         trial = futures.pop(future)
                         self._collect(future, trial)
+                        self._cache_store(trial)
                         self._after_trial(trial)
                     if created >= self.num_samples and not futures:
                         break
@@ -647,12 +763,13 @@ class TrialRunner:
 
     def _submit(self, pool: Any, trial: Trial) -> Future:
         trial.status = TrialStatus.RUNNING
-        trial._submitted = time.perf_counter()  # type: ignore[attr-defined]
+        trial._submitted = time.perf_counter()
         if self.executor_kind == "process":
-            trial._start = time.perf_counter()  # type: ignore[attr-defined]
+            trial._start = time.perf_counter()
+            # trainable=None: the worker uses its _pool_init registration.
             return pool.submit(
                 _process_entry,
-                self.trainable,
+                None,
                 dict(trial.config),
                 self.max_retries,
                 self.retry_backoff_s,
@@ -680,6 +797,8 @@ class TrialRunner:
                 trial.cost["retries"] = float(retries)
             if timeouts:
                 trial.cost["timeouts"] = float(timeouts)
+            if payload.get("tainted"):
+                trial.cost["fault_injected"] = 1.0
             self._count_fault_metrics(retries, timeouts)
             if payload.get("ok"):
                 try:
@@ -691,7 +810,7 @@ class TrialRunner:
             else:
                 trial.error = str(payload.get("error") or "trial failed")
                 trial.status = TrialStatus.ERROR
-        trial.runtime_s = time.perf_counter() - getattr(trial, "_start", time.perf_counter())
+        trial.runtime_s = time.perf_counter() - (trial._start or time.perf_counter())
         # Includes the executor queue wait: across a process boundary only the
         # submit→collect wall is observable.
         trial.cost["evaluate_s"] = trial.runtime_s

@@ -38,6 +38,14 @@ class Trial:
     #: cycle-cost attribution filled by the runner: ``suggest_s`` /
     #: ``evaluate_s`` / ``tell_s`` seconds (see repro.observability.profile).
     cost: dict[str, float] = field(default_factory=dict)
+    #: ``time.perf_counter()`` at executor submission — set by the runner,
+    #: read back for the queue-wait span. A declared field (not an ad-hoc
+    #: attribute) so it survives dataclass copying and pickling.
+    _submitted: Optional[float] = None
+    #: ``time.perf_counter()`` when the process-executor submit happened;
+    #: the submit→collect wall is the only evaluate cost observable across
+    #: a process boundary.
+    _start: Optional[float] = None
 
     @property
     def last_step(self) -> int:

@@ -8,9 +8,17 @@ import time
 from typing import Any, Generator, Optional
 
 from repro.errors import SimulationError, WallClockTimeout
-from repro.simcore.events import NORMAL, Event, Process, Timeout
+from repro.simcore.events import NORMAL, Event, Process, SlimDelay, Timeout
 
 __all__ = ["Environment", "LoopStats", "StopSimulation", "EmptySchedule"]
+
+#: upper bound on recycled SlimDelay instances kept per environment — the
+#: pool only needs to cover the peak number of *concurrently pending* plain
+#: delays, which the cap keeps from growing without bound on pathological
+#: workloads.
+_SLIM_POOL_MAX = 4096
+
+_INF = float("inf")
 
 
 class StopSimulation(Exception):
@@ -85,6 +93,8 @@ class Environment:
         self._eid = 0
         self._active_process: Optional[Process] = None
         self._stats: Optional[LoopStats] = None
+        #: recycled SlimDelay instances (the plain-delay fast lane).
+        self._slim_pool: list[SlimDelay] = []
 
     @property
     def stats(self) -> Optional[LoopStats]:
@@ -117,6 +127,34 @@ class Environment:
         self._eid += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
+    def _schedule_resume(self, process: Process, delay: float) -> SlimDelay:
+        """Fast lane: resume ``process`` after a plain ``delay``.
+
+        Used when a process yields a raw number instead of a
+        :class:`~repro.simcore.events.Timeout`. The carrier event comes from
+        a recycle pool and holds the process directly — no Event allocation
+        and no callback list per wait.
+        """
+        if not (0 <= delay < _INF):
+            raise ValueError(f"delay must be finite and >= 0, got {delay}")
+        pool = self._slim_pool
+        if pool:
+            event = pool.pop()
+        else:
+            event = SlimDelay.__new__(SlimDelay)
+            event.env = self
+            # The callbacks list stays empty forever: the run loop resumes
+            # the carried process directly. It exists (non-None) so generic
+            # "is this still pending" checks keep working.
+            event.callbacks = []
+            event._value = None
+            event._ok = True
+            event._defused = False
+        event.process = process
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, NORMAL, self._eid, event))
+        return event
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when none remain."""
         return self._queue[0][0] if self._queue else float("inf")
@@ -137,6 +175,13 @@ class Environment:
             if depth > stats.max_queue_depth:
                 stats.max_queue_depth = depth
 
+        if type(event) is SlimDelay:
+            # Fast-lane delay: resume the carried process directly (no
+            # callbacks; ``process is None`` means an interrupt cancelled
+            # the wait), then return the instance to the recycle pool.
+            self._resume_slim(event)
+            return
+
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - defensive
             raise SimulationError(f"event {event!r} processed twice")
@@ -146,6 +191,135 @@ class Environment:
         if not event._ok and not event._defused:
             exc = event._value
             raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+
+    def _run_loop(
+        self, wall_deadline: float | None, wall_timeout_s: float | None
+    ) -> None:
+        """Drain the heap until empty or :class:`StopSimulation`.
+
+        Hot attributes (heap, pop, slim pool) are aliased to locals so the
+        dominant pop→callback→recycle cycle does no repeated attribute
+        lookups. When neither stats nor a wall deadline is active, the
+        per-event bookkeeping disappears entirely; otherwise stats are
+        accumulated in locals and flushed once after the loop.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        push = heapq.heappush
+        slim_pool = self._slim_pool
+        stats = self._stats
+        slim = SlimDelay
+
+        if stats is None and wall_deadline is None:
+            while queue:
+                self._now, _, _, event = pop(queue)
+                if type(event) is slim:
+                    # Fast lane: pump the carried process's generator in
+                    # place. A consecutive plain-delay yield re-arms this
+                    # very event — zero allocation, zero pool traffic.
+                    process = event.process
+                    if process is None:  # interrupted wait
+                        if len(slim_pool) < _SLIM_POOL_MAX:
+                            slim_pool.append(event)
+                        continue
+                    self._active_process = process
+                    generator = process._generator
+                    rearmed = False
+                    try:
+                        next_event = generator.send(None)
+                    except StopIteration as stop:
+                        process._generator = None  # type: ignore[assignment]
+                        process.succeed(stop.value)
+                    except BaseException as exc:  # noqa: BLE001 - via event
+                        process._generator = None  # type: ignore[assignment]
+                        process.fail(exc)
+                    else:
+                        kind = type(next_event)
+                        if kind is float or kind is int:
+                            if not (0 <= next_event < _INF):
+                                self._active_process = None
+                                raise ValueError(
+                                    f"delay must be finite and >= 0, got {next_event}"
+                                )
+                            self._eid += 1
+                            push(queue, (self._now + next_event, NORMAL, self._eid, event))
+                            process._target = event
+                            rearmed = True
+                        elif not process._wait(next_event):
+                            # Already-processed event: continue the pump
+                            # through the general resume path.
+                            process._resume(next_event)
+                    self._active_process = None
+                    if not rearmed:
+                        event.process = None
+                        if len(slim_pool) < _SLIM_POOL_MAX:
+                            slim_pool.append(event)
+                    continue
+
+                callbacks = event.callbacks
+                if callbacks is None:  # pragma: no cover - defensive
+                    raise SimulationError(f"event {event!r} processed twice")
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+            return
+
+        events_processed = 0
+        max_depth = 0
+        first_time: Optional[float] = None
+        last_time = 0.0
+        perf_counter = time.perf_counter
+        try:
+            while queue:
+                depth = len(queue)
+                self._now, _, _, event = pop(queue)
+                events_processed += 1
+                if first_time is None:
+                    first_time = self._now
+                last_time = self._now
+                if depth > max_depth:
+                    max_depth = depth
+                if type(event) is slim:
+                    self._resume_slim(event)
+                else:
+                    callbacks = event.callbacks
+                    if callbacks is None:  # pragma: no cover - defensive
+                        raise SimulationError(f"event {event!r} processed twice")
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        exc = event._value
+                        raise (
+                            exc
+                            if isinstance(exc, BaseException)
+                            else SimulationError(repr(exc))
+                        )
+                if wall_deadline is not None and perf_counter() > wall_deadline:
+                    raise WallClockTimeout(
+                        f"simulation exceeded its wall-clock budget of "
+                        f"{wall_timeout_s}s (sim time {self._now})"
+                    )
+        finally:
+            if stats is not None and events_processed:
+                stats.events_processed += events_processed
+                if stats.first_event_time is None:
+                    stats.first_event_time = first_time
+                stats.last_event_time = last_time
+                if max_depth > stats.max_queue_depth:
+                    stats.max_queue_depth = max_depth
+
+    def _resume_slim(self, event: SlimDelay) -> None:
+        """Resume a popped fast-lane delay (instrumented/step path)."""
+        process = event.process
+        if process is not None:
+            process._resume(event)
+        event.process = None
+        if len(self._slim_pool) < _SLIM_POOL_MAX:
+            self._slim_pool.append(event)
 
     # -- factories ----------------------------------------------------------
 
@@ -211,16 +385,7 @@ class Environment:
 
         wall_start = time.perf_counter() if self._stats is not None else 0.0
         try:
-            while True:
-                try:
-                    self.step()
-                except EmptySchedule:
-                    break
-                if wall_deadline is not None and time.perf_counter() > wall_deadline:
-                    raise WallClockTimeout(
-                        f"simulation exceeded its wall-clock budget of "
-                        f"{wall_timeout_s}s (sim time {self._now})"
-                    )
+            self._run_loop(wall_deadline, wall_timeout_s)
         except StopSimulation as signal:
             return signal.args[0] if signal.args else None
         finally:

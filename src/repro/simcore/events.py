@@ -3,8 +3,9 @@
 An :class:`Event` is a one-shot occurrence on the virtual timeline. Events
 are *triggered* (given an outcome) and later *processed* (their callbacks
 run) by the :class:`~repro.simcore.core.Environment`. A :class:`Process`
-wraps a Python generator; each value the generator yields must be an event,
-and the process resumes when that event is processed.
+wraps a Python generator; each value the generator yields must be an event
+— or a raw non-negative number, the fast-lane shorthand for a plain virtual
+delay — and the process resumes when that event is processed.
 
 This is a deliberate re-implementation of the SimPy core model: the
 reproduction may not depend on external simulation packages, and the paper's
@@ -13,6 +14,7 @@ thread-pool phenomena need precise control over resource accounting.
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
@@ -140,14 +142,36 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if not math.isfinite(delay) or delay < 0:
             raise ValueError(f"timeout delay must be finite and >= 0, got {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + Environment.schedule: a timeout is the
+        # dominant event kind in the engine DES, so it skips the redundant
+        # second delay validation and the schedule() call overhead.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        env._eid += 1
+        heapq.heappush(env._queue, (env._now + delay, NORMAL, env._eid, self))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Timeout delay={self.delay}>"
+
+
+class SlimDelay(Event):
+    """A pooled plain-delay event, internal to the fast lane.
+
+    Created only by :meth:`Environment._schedule_resume` when a process
+    yields a raw number instead of a :class:`Timeout`. It bypasses the
+    callback protocol entirely: it carries its :attr:`process` directly and
+    the run loop pumps that process's generator in place, re-arming the
+    same instance for consecutive plain delays. Never exposed to user code
+    (the resumed generator receives ``None``), which is what makes the
+    recycling safe. ``process`` is set to ``None`` when an interrupt
+    cancels the wait; the run loop then simply discards the pop.
+    """
+
+    __slots__ = ("process",)
 
 
 class Interrupt(Exception):
@@ -190,10 +214,15 @@ class _Interruption(Event):
         # interrupt takes over the resumption.
         target = process._target
         if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(process._resume)
-            except ValueError:  # pragma: no cover - defensive
-                pass
+            if type(target) is SlimDelay:
+                # Fast-lane waits carry the process directly; clearing it
+                # cancels the pending resume without touching the heap.
+                target.process = None
+            else:
+                try:
+                    target.callbacks.remove(process._resume)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
         self.callbacks.append(process._resume)
         process.env.schedule(self, priority=URGENT)
 
@@ -252,25 +281,42 @@ class Process(Event):
                 self.fail(exc)
                 return
 
-            if not isinstance(next_event, Event):
-                self.env._active_process = None
-                error = SimulationError(
-                    f"process {self.name!r} yielded a non-event: {next_event!r}"
-                )
-                self._generator.throw(error)
-                raise error  # pragma: no cover - throw() above raises
-            if next_event.env is not self.env:
-                raise SimulationError(
-                    f"process {self.name!r} yielded an event from another environment"
-                )
-            if next_event.callbacks is not None:
-                # Not processed yet: wait for it.
-                next_event.callbacks.append(self._resume)
-                self._target = next_event
+            kind = type(next_event)
+            if kind is float or kind is int:
+                # Fast lane: a raw number is a plain delay. The environment
+                # schedules the resume through a pooled SlimDelay, avoiding
+                # a fresh Event (and callback list) per simulated wait.
+                self._target = self.env._schedule_resume(self, next_event)
+                break
+            if self._wait(next_event):
                 break
             # Already processed: continue immediately with its outcome.
             event = next_event
         self.env._active_process = None
+
+    def _wait(self, next_event: Any) -> bool:
+        """Subscribe to a yielded event.
+
+        Returns True when the process is now waiting on ``next_event``,
+        False when that event was already processed (the caller continues
+        the pump with its outcome immediately).
+        """
+        if not isinstance(next_event, Event):
+            self.env._active_process = None
+            error = SimulationError(
+                f"process {self.name!r} yielded a non-event: {next_event!r}"
+            )
+            self._generator.throw(error)
+            raise error  # pragma: no cover - throw() above raises
+        if next_event.env is not self.env:
+            raise SimulationError(
+                f"process {self.name!r} yielded an event from another environment"
+            )
+        if next_event.callbacks is not None:
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+            return True
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Process {self.name!r} {'done' if self.triggered else 'alive'}>"

@@ -80,6 +80,50 @@ class Deployment:
     def placements_of(self, service_name: str) -> list[Placement]:
         return [p for p in self.placements if p.service_name == service_name]
 
+    def signature(self) -> tuple[tuple[str, str, int, float, int], ...]:
+        """Structural identity: which services sit where with which claim.
+
+        Deliberately excludes each placement's ``extra`` parameters (thread
+        pools, client counts): two deployments with the same signature can
+        be morphed into one another by :meth:`reconfigure` alone, without
+        re-placing anything — the paper's reconfiguration phase.
+        """
+        return tuple(
+            sorted(
+                (p.service_name, p.node_name, p.cores, p.memory_gb, p.gpus)
+                for p in self.placements
+            )
+        )
+
+    def reconfigure(self, service_name: str, **extra: Any) -> list[Placement]:
+        """Update a deployed service's tunable parameters in place.
+
+        Merges ``extra`` into every placement of ``service_name`` without
+        touching node allocations — the warm path between trials when the
+        placement signature is unchanged. Returns the updated placements.
+        """
+        updated: list[Placement] = []
+        for i, placement in enumerate(self.placements):
+            if placement.service_name != service_name:
+                continue
+            merged = dict(placement.extra)
+            merged.update(extra)
+            replacement = Placement(
+                service_name=placement.service_name,
+                node_name=placement.node_name,
+                cores=placement.cores,
+                memory_gb=placement.memory_gb,
+                gpus=placement.gpus,
+                extra=tuple(sorted(merged.items())),
+            )
+            self.placements[i] = replacement
+            updated.append(replacement)
+        if not updated:
+            raise DeploymentError(
+                f"no placements of service {service_name!r} to reconfigure"
+            )
+        return updated
+
     def node_of(self, placement: Placement) -> "Node":
         return self._nodes_by_name[placement.node_name]
 

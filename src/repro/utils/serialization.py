@@ -9,13 +9,14 @@ without this library.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
-__all__ = ["to_jsonable", "dump_json", "load_json"]
+__all__ = ["to_jsonable", "dump_json", "load_json", "canonical_config", "config_hash"]
 
 
 def to_jsonable(obj: Any) -> Any:
@@ -47,6 +48,49 @@ def to_jsonable(obj: Any) -> Any:
     if isinstance(obj, (set, frozenset)):
         return sorted(to_jsonable(x) for x in obj)
     raise TypeError(f"cannot serialize object of type {type(obj).__name__}")
+
+
+def canonical_config(obj: Any) -> Any:
+    """Normalize a configuration for identity comparison and hashing.
+
+    Two configs that denote the same point must normalize identically even
+    when their representations drifted — the failure mode PR 3's checkpoint
+    replay hit: ints resurfacing as floats after a JSON round-trip, tuples
+    becoming lists, keys reordered. Rules:
+
+    - mappings → dicts with stringified keys, entries sorted by key;
+    - lists/tuples/arrays → lists of normalized elements;
+    - whole floats (``5.0``, numpy scalars) → ints, so ``5`` == ``5.0``;
+    - everything else goes through :func:`to_jsonable`.
+    """
+    obj = to_jsonable(obj)
+
+    def norm(value: Any) -> Any:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, float):
+            if value.is_integer():
+                return int(value)
+            return value
+        if isinstance(value, dict):
+            return {str(k): norm(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+        if isinstance(value, list):
+            return [norm(v) for v in value]
+        return value
+
+    return norm(obj)
+
+
+def config_hash(obj: Any, *extra: Any) -> str:
+    """Stable content hash of a configuration (plus optional extras).
+
+    The hash is over the canonical JSON encoding, so any two configs that
+    :func:`canonical_config` maps to the same value share a hash — the
+    identity used by the evaluation cache and checkpoint replay matching.
+    """
+    payload = canonical_config(obj if not extra else (obj, *extra))
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
 
 def dump_json(obj: Any, path: str | Path, *, indent: int = 2) -> Path:

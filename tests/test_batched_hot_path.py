@@ -169,26 +169,27 @@ def _raises_value_error(config):
 
 class TestAttemptOnce:
     def test_base_exception_becomes_structured_error(self):
-        status, payload = _attempt_once(_raises_system_exit, {}, None)
+        status, payload, _injected = _attempt_once(_raises_system_exit, {}, None)
         assert status == "error"
         assert "SystemExit" in payload
 
     def test_base_exception_in_timeout_thread(self):
         """Regression: SystemExit in the worker thread left the box empty
         and crashed the pool worker with IndexError."""
-        status, payload = _attempt_once(_raises_system_exit, {}, 5.0)
+        status, payload, _injected = _attempt_once(_raises_system_exit, {}, 5.0)
         assert status == "error"
         assert "SystemExit" in payload
 
     def test_ordinary_error_with_timeout(self):
-        status, payload = _attempt_once(_raises_value_error, {}, 5.0)
+        status, payload, _injected = _attempt_once(_raises_value_error, {}, 5.0)
         assert status == "error"
         assert "ValueError: boom" in payload
 
     def test_ok_path_with_timeout(self):
-        status, payload = _attempt_once(lambda c: {"loss": 1.0}, {}, 5.0)
+        status, payload, injected = _attempt_once(lambda c: {"loss": 1.0}, {}, 5.0)
         assert status == "ok"
         assert payload == {"loss": 1.0}
+        assert injected is False
 
     def test_trial_with_system_exit_is_an_error_not_a_crash(self):
         analysis = run(

@@ -1,0 +1,332 @@
+"""Tests for the fast evaluation path: canonical hashing, the EvalCache,
+its runner integration, and the cache × resume × faults interplay."""
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.faults.context import mark_injection
+from repro.optimizer import OptimizationManager, OptimizerConf
+from repro.search import TrialRunner, TrialStatus
+from repro.search.algos import SearchAlgorithm
+from repro.search.evalcache import EvalCache
+from repro.utils.serialization import canonical_config, config_hash
+
+
+class ReplaySearch(SearchAlgorithm):
+    """Proposes a fixed configuration sequence; records every tell."""
+
+    def __init__(self, sequence):
+        self._sequence = list(sequence)
+        self._i = 0
+        self.tells = []
+
+    def suggest(self, trial_id):
+        if self._i >= len(self._sequence):
+            return None
+        config = dict(self._sequence[self._i])
+        self._i += 1
+        return config
+
+    def on_trial_complete(self, trial_id, config, value):
+        self.tells.append((trial_id, dict(config), value))
+
+
+class TestCanonicalConfig:
+    def test_whole_floats_collapse_to_ints(self):
+        assert canonical_config({"x": 5.0}) == {"x": 5}
+        assert canonical_config({"x": 5.5}) == {"x": 5.5}
+
+    def test_tuples_become_lists(self):
+        assert canonical_config((1, 2.0, "a")) == [1, 2, "a"]
+
+    def test_bools_survive(self):
+        assert canonical_config(True) is True
+        assert config_hash(True) != config_hash(1)
+
+    def test_key_order_irrelevant(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_numeric_drift_collides(self):
+        assert config_hash({"http": 80}) == config_hash({"http": 80.0})
+        assert config_hash({"http": 80}) != config_hash({"http": 81})
+
+    def test_extra_parts_change_the_hash(self):
+        assert config_hash({"x": 1}) != config_hash({"x": 1}, "fingerprint")
+
+
+class TestEvalCache:
+    def test_min_replicates_validated(self):
+        with pytest.raises(ValidationError):
+            EvalCache(min_replicates=0)
+
+    def test_miss_store_hit(self):
+        cache = EvalCache()
+        assert cache.lookup({"x": 1}) is None
+        assert cache.store({"x": 1}, {"objective": 2.5})
+        hit = cache.lookup({"x": 1})
+        assert hit == {"objective": 2.5}
+        hit["objective"] = 0.0  # a copy, not the stored dict
+        assert cache.lookup({"x": 1}) == {"objective": 2.5}
+        assert cache.stats() == {
+            "hits": 2, "misses": 1, "stores": 1, "rejected": 0, "entries": 1,
+        }
+
+    def test_int_float_configs_share_entries(self):
+        cache = EvalCache()
+        cache.store({"x": 2}, {"objective": 1.0})
+        assert cache.lookup({"x": 2.0}) == {"objective": 1.0}
+
+    def test_fingerprint_separates_scenarios(self):
+        a = EvalCache(fingerprint={"seed": 1})
+        b = EvalCache(fingerprint={"seed": 2})
+        assert a.key({"x": 1}) != b.key({"x": 1})
+
+    def test_tainted_results_refused(self):
+        cache = EvalCache()
+        assert not cache.store({"x": 1}, {"objective": 1.0}, tainted=True)
+        assert cache.lookup({"x": 1}) is None
+        assert cache.stats()["rejected"] == 1
+
+    def test_min_replicates_gate(self):
+        cache = EvalCache(min_replicates=2)
+        cache.store({"x": 1}, {"objective": 1.0})
+        assert cache.lookup({"x": 1}) is None  # quota not met: keep measuring
+        cache.store({"x": 1}, {"objective": 3.0})
+        # Served from the first replicate, deterministically.
+        assert cache.lookup({"x": 1}) == {"objective": 1.0}
+
+    def test_jsonl_persistence_round_trip(self, tmp_path):
+        path = tmp_path / "evalcache.jsonl"
+        first = EvalCache(path=path, fingerprint={"seed": 7})
+        first.store({"x": 1}, {"objective": 1.5})
+        first.store({"x": 2}, {"objective": 2.5})
+        warm = EvalCache(path=path, fingerprint={"seed": 7})
+        assert len(warm) == 2
+        assert warm.lookup({"x": 1}) == {"objective": 1.5}
+
+    def test_torn_tail_line_tolerated(self, tmp_path):
+        path = tmp_path / "evalcache.jsonl"
+        cache = EvalCache(path=path)
+        cache.store({"x": 1}, {"objective": 1.0})
+        with path.open("a") as handle:
+            handle.write('{"key": "torn')  # crashed mid-write
+        reloaded = EvalCache(path=path)
+        assert len(reloaded) == 1
+
+
+class TestRunnerIntegration:
+    def test_duplicates_served_from_cache(self):
+        calls = []
+
+        def evaluator(config):
+            calls.append(dict(config))
+            return {"objective": float(config["x"])}
+
+        sequence = [{"x": 1}, {"x": 2}, {"x": 1}, {"x": 2}, {"x": 1}]
+        search = ReplaySearch(sequence)
+        cache = EvalCache()
+        runner = TrialRunner(
+            evaluator, search, metric="objective", num_samples=len(sequence),
+            eval_cache=cache,
+        )
+        analysis = runner.run()
+        assert len(calls) == 2  # one real evaluation per unique config
+        assert len(analysis.trials) == len(sequence)
+        hits = [t for t in analysis.trials if t.cost.get("cache_hit")]
+        assert len(hits) == 3
+        for trial in hits:
+            assert trial.status is TrialStatus.TERMINATED
+            assert trial.cost["evaluate_s"] == 0.0
+            assert trial.result["objective"] == float(trial.config["x"])
+        # Every trial — cached or not — tells the searcher exactly once.
+        assert len(search.tells) == len(sequence)
+        assert analysis.cost_profile().cache_hits == 3
+
+    def test_thread_executor_all_hit_batches_refill(self):
+        """A batch served entirely from the cache must not end the campaign."""
+        def evaluator(config):
+            return {"objective": float(config["x"])}
+
+        sequence = [{"x": 1}, {"x": 2}, {"x": 1}, {"x": 1}, {"x": 1}, {"x": 3}]
+        search = ReplaySearch(sequence)
+        runner = TrialRunner(
+            evaluator, search, metric="objective", num_samples=len(sequence),
+            executor="thread", max_workers=2, eval_cache=EvalCache(),
+        )
+        analysis = runner.run()
+        assert len(analysis.trials) == len(sequence)
+        assert len(search.tells) == len(sequence)
+
+    def test_fault_injected_results_never_admitted(self):
+        def evaluator(config):
+            mark_injection()  # what FaultInjector.wrap records on any fault
+            return {"objective": 1.0}
+
+        sequence = [{"x": 1}, {"x": 1}, {"x": 1}]
+        cache = EvalCache()
+        runner = TrialRunner(
+            evaluator, ReplaySearch(sequence), metric="objective",
+            num_samples=len(sequence), eval_cache=cache,
+        )
+        analysis = runner.run()
+        assert cache.stats()["stores"] == 0
+        assert all(not t.cost.get("cache_hit") for t in analysis.trials)
+
+    def test_retried_results_never_admitted(self):
+        attempts = {"n": 0}
+
+        def flaky(config):
+            attempts["n"] += 1
+            if attempts["n"] % 2 == 1:
+                raise RuntimeError("flaky")
+            return {"objective": 1.0}
+
+        sequence = [{"x": 1}, {"x": 1}]
+        cache = EvalCache()
+        runner = TrialRunner(
+            flaky, ReplaySearch(sequence), metric="objective",
+            num_samples=len(sequence), max_retries=1, eval_cache=cache,
+        )
+        runner.run()
+        assert cache.stats()["stores"] == 0
+
+    def test_error_trials_never_admitted(self):
+        def broken(config):
+            raise RuntimeError("boom")
+
+        cache = EvalCache()
+        runner = TrialRunner(
+            broken, ReplaySearch([{"x": 1}]), metric="objective",
+            num_samples=1, eval_cache=cache,
+        )
+        runner.run()
+        assert cache.stats() == {
+            "hits": 0, "misses": 1, "stores": 0, "rejected": 0, "entries": 0,
+        }
+
+
+def _conf_dict(workdir, num_samples=6, **extra):
+    data = {
+        "name": "cache_campaign",
+        # A degenerate space: every proposal is {"x": 0}, so everything
+        # after the first evaluation is a guaranteed duplicate.
+        "variables": [{"name": "x", "type": "integer", "low": 0, "high": 0}],
+        "objectives": [{"metric": "latency", "mode": "min"}],
+        "algorithm": {"search": "random"},
+        "num_samples": num_samples,
+        "seed": 3,
+        "workdir": str(workdir),
+        "eval_cache": {"enabled": True},
+    }
+    data.update(extra)
+    return data
+
+
+class TestConfWiring:
+    def test_unknown_cache_keys_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="eval_cache"):
+            OptimizerConf.from_dict(_conf_dict(tmp_path, eval_cache={"bogus": 1}))
+
+    def test_disabled_block_builds_nothing(self, tmp_path):
+        conf = OptimizerConf.from_dict(
+            _conf_dict(tmp_path, eval_cache={"enabled": False})
+        )
+        assert conf.build_eval_cache() is None
+
+    def test_seed_is_part_of_the_fingerprint(self, tmp_path):
+        a = OptimizerConf.from_dict(_conf_dict(tmp_path, seed=1)).build_eval_cache()
+        b = OptimizerConf.from_dict(_conf_dict(tmp_path, seed=2)).build_eval_cache()
+        assert a.key({"x": 0}) != b.key({"x": 0})
+
+    def test_round_trips_through_to_dict(self, tmp_path):
+        conf = OptimizerConf.from_dict(
+            _conf_dict(tmp_path, eval_cache={"min_replicates": 2})
+        )
+        clone = OptimizerConf.from_dict(conf.to_dict())
+        assert clone.eval_cache == {"min_replicates": 2}
+
+
+class TestCampaignAndResume:
+    def test_campaign_evaluates_each_unique_config_once(self, tmp_path):
+        calls = {"n": 0}
+
+        def evaluator(config, seed=None, duration=None):
+            calls["n"] += 1
+            return {"latency": 1.0 + config["x"]}
+
+        manager = OptimizationManager(
+            OptimizerConf.from_dict(_conf_dict(tmp_path, num_samples=6)),
+            evaluator=evaluator,
+        )
+        outcome = manager.run()
+        assert calls["n"] == 1  # five duplicates served from the cache
+        assert outcome.summary.n_evaluations == 6
+        assert outcome.summary.cost_profile["cache_hits"] == 5
+        ledger = manager.run_dir / "evalcache.jsonl"
+        assert ledger.exists()
+        assert len(ledger.read_text().splitlines()) == 1
+
+    def test_resume_replays_cached_hits_exactly_once(self, tmp_path):
+        calls = {"n": 0}
+
+        def evaluator(config, seed=None, duration=None):
+            calls["n"] += 1
+            return {"latency": 2.0}
+
+        first = OptimizationManager(
+            OptimizerConf.from_dict(_conf_dict(tmp_path, num_samples=4)),
+            evaluator=evaluator,
+        )
+        first.run()
+        assert calls["n"] == 1
+
+        # Resume to the full budget: checkpointed trials replay through
+        # tell() (no re-execution), and the 4 fresh trials all hit the
+        # JSONL-warmed cache — the evaluator never runs again.
+        second = OptimizationManager(
+            OptimizerConf.from_dict(_conf_dict(tmp_path, num_samples=8)),
+            evaluator=evaluator,
+            resume_from=first.run_dir,
+        )
+        outcome = second.run()
+        assert calls["n"] == 1
+        assert outcome.summary.n_evaluations == 8
+        # Objective history counts every trial exactly once — resumed
+        # trials and cache hits never double-report.
+        assert len(outcome.summary.evaluations) == 8
+        # The warm cache still holds exactly the one stored evaluation.
+        ledger = second.run_dir / "evalcache.jsonl"
+        assert len(ledger.read_text().splitlines()) == 1
+
+    def test_faulty_campaign_admits_nothing(self, tmp_path):
+        def evaluator(config, seed=None, duration=None):
+            return {"latency": 1.0}
+
+        manager = OptimizationManager(
+            OptimizerConf.from_dict(
+                _conf_dict(
+                    tmp_path, num_samples=5,
+                    faults={"straggler": 1.0, "straggler_delay_s": 0.0},
+                )
+            ),
+            evaluator=evaluator,
+        )
+        manager.run()
+        # straggler=1.0 taints every attempt (it succeeds, but the
+        # measurement is injected): nothing is admissible.
+        ledger = manager.run_dir / "evalcache.jsonl"
+        assert not ledger.exists() or ledger.read_text() == ""
+
+    def test_ledger_is_plain_provenance(self, tmp_path):
+        manager = OptimizationManager(
+            OptimizerConf.from_dict(_conf_dict(tmp_path, num_samples=3)),
+            evaluator=lambda config, **kw: {"latency": 4.2},
+        )
+        manager.run()
+        line = (manager.run_dir / "evalcache.jsonl").read_text().splitlines()[0]
+        record = json.loads(line)
+        assert record["config"] == {"x": 0}
+        assert record["result"]["latency"] == 4.2
+        assert "objective" in record["result"]

@@ -100,6 +100,49 @@ class TestScenario:
         assert total == 42
 
 
+
+class TestWarmReuse:
+    def test_cold_and_warm_results_identical(self):
+        cold = PlantNetScenario(
+            duration=150.0, warmup=30.0, base_seed=5, warm_reuse=False
+        )
+        with PlantNetScenario(
+            duration=150.0, warmup=30.0, base_seed=5, warm_reuse=True
+        ) as warm:
+            for config in (BASELINE, ThreadPoolConfig(60, 40, 5, 40)):
+                a = cold.evaluate(config.to_dict(), 40)
+                b = warm.evaluate(config.to_dict(), 40)
+                assert a == b
+
+    def test_deployment_reused_across_trials(self):
+        with PlantNetScenario(duration=150.0, base_seed=1, warm_reuse=True) as sc:
+            sc.evaluate(BASELINE.to_dict(), 40)
+            first = sc._warm[40]["deployment"]
+            sc.evaluate(ThreadPoolConfig(60, 40, 5, 40).to_dict(), 40)
+            assert sc._warm[40]["deployment"] is first
+
+    def test_manifest_tracks_reconfigured_pools(self):
+        with PlantNetScenario(duration=150.0, base_seed=1, warm_reuse=True) as sc:
+            sc.run(BASELINE, 40)
+            new = ThreadPoolConfig(60, 40, 5, 40)
+            result = sc.run(new, 40)
+            engine = [
+                e for e in result.deployment_manifest
+                if e["service"] == "plantnet-engine"
+            ][0]
+            assert engine["thread_pools"] == new.to_dict()
+
+    def test_close_releases_everything(self):
+        sc = PlantNetScenario(duration=150.0, base_seed=1, warm_reuse=True)
+        sc.evaluate(BASELINE.to_dict(), 40)
+        entry = sc._warm[40]
+        sc.close()
+        assert sc._warm == {}
+        assert all(
+            node.allocated_cores == 0
+            for node in entry["deployment"]._nodes_by_name.values()
+        )
+
 class TestPlantNetOptimization:
     def test_listing1_campaign(self, tmp_path):
         opt = PlantNetOptimization(

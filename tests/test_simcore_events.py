@@ -119,10 +119,34 @@ class TestProcesses:
         env = simcore.Environment()
 
         def bad(env):
-            yield 42
+            yield "not an event"
 
         env.process(bad(env))
         with pytest.raises(SimulationError, match="non-event"):
+            env.run()
+
+    def test_yield_raw_number_is_plain_delay(self):
+        env = simcore.Environment()
+        seen = []
+
+        def proc(env):
+            got = yield 1.5
+            seen.append((env.now, got))
+            got = yield 2  # ints work too
+            seen.append((env.now, got))
+
+        env.process(proc(env))
+        env.run()
+        assert seen == [(1.5, None), (3.5, None)]
+
+    def test_yield_negative_number_raises(self):
+        env = simcore.Environment()
+
+        def bad(env):
+            yield -1.0
+
+        env.process(bad(env))
+        with pytest.raises(ValueError, match="finite"):
             env.run()
 
     def test_process_exception_propagates(self):

@@ -187,6 +187,41 @@ class TestDeployment:
             deployment.place("x", res2.nodes_of("gros")[0], cores=1)
 
 
+    def test_signature_excludes_extra(self):
+        tb = grid5000()
+        res = tb.reserve([ResourceRequest("chifflot", 1)])
+        node = res.nodes_of("chifflot")[0]
+        deployment = Deployment(reservation=res)
+        deployment.place("engine", node, cores=40, thread_pools={"http": 20})
+        before = deployment.signature()
+        deployment.reconfigure("engine", thread_pools={"http": 60})
+        assert deployment.signature() == before
+        assert before == (("engine", node.name, 40, 0.0, 0),)
+
+    def test_reconfigure_merges_extra_in_place(self):
+        tb = grid5000()
+        res = tb.reserve([ResourceRequest("chifflot", 1)])
+        node = res.nodes_of("chifflot")[0]
+        deployment = Deployment(reservation=res)
+        deployment.place("engine", node, cores=8, thread_pools={"http": 20}, tag="a")
+        updated = deployment.reconfigure("engine", thread_pools={"http": 60})
+        assert len(updated) == 1
+        entry = deployment.manifest()[0]
+        assert entry["thread_pools"] == {"http": 60}
+        assert entry["tag"] == "a"  # untouched extras survive the merge
+        assert node.allocated_cores == 8  # no re-place, no re-allocation
+
+    def test_reconfigure_unknown_service_rejected(self):
+        from repro.errors import DeploymentError
+
+        tb = grid5000()
+        res = tb.reserve([ResourceRequest("gros", 1)])
+        deployment = Deployment(reservation=res)
+        with pytest.raises(DeploymentError, match="no placements"):
+            deployment.reconfigure("ghost", thread_pools={})
+
+
+
 class TestClusterSite:
     def test_duplicate_cluster_rejected(self):
         site = Site("lille")
