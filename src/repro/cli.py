@@ -26,8 +26,16 @@ Subcommands::
     e2clab-repro dashboard RUN_DIR [--out DIR]
         Build the campaign-analytics artifacts from ``spans.jsonl``: a
         self-contained ``timeline.html`` (per-slot utilization timeline,
-        critical-path attribution, alerts — no external assets) and a
-        Chrome-loadable ``trace_events.json``.
+        critical-path attribution, latency percentiles, alerts — no
+        external assets) and a Chrome-loadable ``trace_events.json``.
+
+    e2clab-repro perf record SOURCE --out BASELINE.json
+    e2clab-repro perf diff BASELINE CANDIDATE [--threshold F]
+        The perf-regression gate. ``record`` snapshots a run's
+        ``perf_profile.json`` (or a BENCH result) as a committed baseline;
+        ``diff`` compares two profiles and exits non-zero when any watched
+        quantile regressed beyond the threshold (with a bootstrap
+        significance check when full digests are available).
 
 Also reachable as ``python -m repro ...``.
 """
@@ -112,6 +120,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to write the artifacts into (defaults to RUN_DIR)",
     )
+
+    p_perf = sub.add_parser("perf", help="perf baselines and the regression gate")
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+    p_rec = perf_sub.add_parser(
+        "record", help="snapshot a perf profile (or BENCH result) as a baseline"
+    )
+    p_rec.add_argument(
+        "source", help="run directory, perf_profile.json, or BENCH result JSON"
+    )
+    p_rec.add_argument("--out", required=True, help="baseline JSON path to write")
+    p_diff = perf_sub.add_parser(
+        "diff", help="compare a candidate profile against a baseline"
+    )
+    p_diff.add_argument("baseline", help="baseline profile (recorded or raw)")
+    p_diff.add_argument("candidate", help="candidate profile to gate")
+    p_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative slowdown that counts as a regression (default 0.25 = +25%%)",
+    )
+    p_diff.add_argument(
+        "--quantiles",
+        default="p50,p90",
+        help="comma-separated statistics to compare (default p50,p90)",
+    )
+    p_diff.add_argument(
+        "--report",
+        default=None,
+        help="also write the structured diff as JSON to this path",
+    )
     return parser
 
 
@@ -181,6 +220,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_dashboard(args: argparse.Namespace) -> int:
+    import json
     from pathlib import Path
 
     from repro.observability.analysis import (
@@ -189,6 +229,7 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
         write_trace_events,
     )
     from repro.observability.dashboard import TIMELINE_FILE, write_dashboard
+    from repro.observability.digest import PERF_PROFILE_FILE
     from repro.observability.trace import load_spans
     from repro.observability.watchdog import ALERTS_FILE, load_alerts
 
@@ -205,9 +246,11 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
     alerts = (
         [alert.to_dict() for alert in load_alerts(alerts_path)] if alerts_path.exists() else []
     )
+    perf_path = run_dir / PERF_PROFILE_FILE
+    perf = json.loads(perf_path.read_text()) if perf_path.exists() else None
     analysis = analyze_spans(spans)
     timeline = write_dashboard(
-        analysis, out_dir / TIMELINE_FILE, title=run_dir.name, alerts=alerts
+        analysis, out_dir / TIMELINE_FILE, title=run_dir.name, alerts=alerts, perf=perf
     )
     trace_events = write_trace_events(spans, out_dir / TRACE_EVENTS_FILE)
     print(f"wrote {timeline}")
@@ -219,6 +262,36 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
         f"{len(alerts)} alerts)"
     )
     return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.errors import ValidationError
+    from repro.observability.perf import diff_profiles, record_baseline
+
+    if args.perf_command == "record":
+        try:
+            path = record_baseline(args.source, args.out)
+        except ValidationError as exc:
+            raise SystemExit(str(exc)) from exc
+        print(f"wrote baseline {path}")
+        return 0
+    stats = tuple(s.strip() for s in args.quantiles.split(",") if s.strip())
+    try:
+        diff = diff_profiles(
+            args.baseline, args.candidate, threshold=args.threshold, stats=stats
+        )
+    except ValidationError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(diff.render())
+    if args.report is not None:
+        import json
+        from pathlib import Path
+
+        report_path = Path(args.report)
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(json.dumps(diff.to_dict(), indent=2) + "\n")
+        print(f"wrote {report_path}")
+    return 0 if diff.ok else 1
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
@@ -269,6 +342,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "dashboard":
         return _cmd_dashboard(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

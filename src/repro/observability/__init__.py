@@ -18,7 +18,15 @@ and a null metrics registry):
   stream (stragglers, objective stalls/regressions, pool saturation, fault
   storms) emitting rate-limited structured alerts;
 - :mod:`repro.observability.dashboard` — a self-contained HTML timeline
-  (``python -m repro dashboard <run-dir>``), no external assets.
+  (``python -m repro dashboard <run-dir>``), no external assets;
+- :mod:`repro.observability.digest` — mergeable latency digests on every
+  hot-path op (suggest/tell/evaluate/queue-wait/deploy/cache/DES), exported
+  as ``perf_profile.json`` plus Prometheus summary series;
+- :mod:`repro.observability.fabric` — the cross-process telemetry fabric:
+  process-pool workers record spans/metrics/digests locally and the parent
+  merges them back with ``runner_id``/``pid`` attribution;
+- :mod:`repro.observability.perf` — perf baselines and the regression gate
+  (``python -m repro perf record|diff``).
 
 ``python -m repro report <run-dir>`` renders the exported artifacts
 (:mod:`repro.observability.report`).
@@ -49,6 +57,20 @@ from repro.observability.analysis import (
     write_trace_events,
 )
 from repro.observability.dashboard import render_dashboard, write_dashboard
+from repro.observability.digest import (
+    PERF_PROFILE_FILE,
+    LatencyDigest,
+    NullPerfRecorder,
+    PerfRecorder,
+    get_perf,
+    set_perf,
+)
+from repro.observability.fabric import (
+    activate_worker,
+    drain_worker,
+    merge_payload,
+    worker_active,
+)
 from repro.observability.metrics import (
     Counter,
     Gauge,
@@ -118,6 +140,16 @@ __all__ = [
     "get_watchdog",
     "set_watchdog",
     "load_alerts",
+    "LatencyDigest",
+    "PerfRecorder",
+    "NullPerfRecorder",
+    "get_perf",
+    "set_perf",
+    "PERF_PROFILE_FILE",
+    "activate_worker",
+    "drain_worker",
+    "merge_payload",
+    "worker_active",
     "enable",
     "disable",
     "export",
@@ -125,11 +157,17 @@ __all__ = [
 
 
 def enable() -> tuple[RecordingTracer, MetricsRegistry]:
-    """Install a recording tracer + live registry globally; returns both."""
+    """Install a recording tracer + live registry globally; returns both.
+
+    Also installs a live :class:`PerfRecorder` (reachable via
+    :func:`get_perf`) so every hot-path op accumulates latency digests.
+    The return stays a 2-tuple for compatibility.
+    """
     tracer = RecordingTracer()
     registry = MetricsRegistry()
     set_tracer(tracer)
     set_registry(registry)
+    set_perf(PerfRecorder())
     return tracer, registry
 
 
@@ -137,6 +175,7 @@ def disable() -> None:
     """Restore the inert defaults (no-op tracer, null registry)."""
     set_tracer(None)
     set_registry(None)
+    set_perf(None)
 
 
 def export(run_dir: str | Path) -> list[Path]:
@@ -161,12 +200,14 @@ def export(run_dir: str | Path) -> list[Path]:
                 if watchdog is not None
                 else []
             )
+            live_perf = get_perf()
             written.append(
                 write_dashboard(
                     analyze_spans(spans),
                     run_dir / TIMELINE_FILE,
                     title=run_dir.name,
                     alerts=alerts,
+                    perf=live_perf.to_dict() if live_perf.enabled else None,
                 )
             )
     watchdog = get_watchdog()
@@ -175,7 +216,27 @@ def export(run_dir: str | Path) -> list[Path]:
 
         written.append(watchdog.export_jsonl(run_dir / ALERTS_FILE))
     registry = get_registry()
+    perf = get_perf()
     if registry.enabled:
+        if isinstance(tracer, RecordingTracer):
+            # Self-metrics as gauges: export() may run more than once per
+            # campaign, and a gauge set is idempotent where a counter
+            # increment would double-count.
+            registry.gauge(
+                "repro_tracer_spans_recorded", "spans finished by the tracer"
+            ).set(tracer.spans_recorded)
+            registry.gauge(
+                "repro_tracer_subscriber_errors",
+                "span-subscriber callbacks that raised",
+            ).set(tracer.subscriber_errors)
         written.append(registry.export_json(run_dir / "metrics.json"))
-        written.append(registry.export_prometheus(run_dir / "metrics.prom"))
+        prom_text = registry.render_prometheus()
+        if perf.enabled:
+            prom_text = prom_text + perf.render_prometheus()
+        prom_path = run_dir / "metrics.prom"
+        prom_path.parent.mkdir(parents=True, exist_ok=True)
+        prom_path.write_text(prom_text)
+        written.append(prom_path)
+    if perf.enabled:
+        written.append(perf.export_json(run_dir / PERF_PROFILE_FILE))
     return written

@@ -109,6 +109,7 @@ td.num { font-variant-numeric: tabular-nums; }
   <div class="legend" id="legend"></div>
   <div id="timeline"></div></div>
 <div class="card"><h2>Critical path</h2><div id="critpath"></div></div>
+<div class="card"><h2>Latency percentiles</h2><div id="perf"></div></div>
 <div class="card"><h2>Watchdog alerts</h2><div id="alerts"></div></div>
 <div class="card"><h2>Trials</h2><div id="trials"></div></div>
 <div id="tooltip"></div>
@@ -262,6 +263,25 @@ function critpath() {
   host.innerHTML = svg + `<div class="empty" style="margin-top:6px">${summary} — horizon ${fmt(total)} s</div>`;
 }
 
+function perf() {
+  const host = document.getElementById("perf");
+  const ops = (DATA.perf && DATA.perf.ops) || {};
+  const names = Object.keys(ops).sort();
+  if (!names.length) { host.innerHTML = "<div class='empty'>no latency digests (run without perf recording)</div>"; return; }
+  const cell = v => {
+    if (typeof v !== "number" || Number.isNaN(v)) return "–";
+    if (v < 1e-3) return (v * 1e6).toFixed(1) + " µs";
+    if (v < 1) return (v * 1e3).toFixed(2) + " ms";
+    return v.toFixed(3) + " s";
+  };
+  host.innerHTML = "<table><tr><th>op</th><th>count</th><th>mean</th><th>p50</th><th>p90</th><th>p99</th></tr>" +
+    names.map(op => {
+      const e = ops[op];
+      return `<tr><td>${op}</td><td class="num">${Math.round(e.count || 0)}</td>` +
+        ["mean", "p50", "p90", "p99"].map(k => `<td class="num">${cell(e[k])}</td>`).join("") + "</tr>";
+    }).join("") + "</table>";
+}
+
 function alerts() {
   const host = document.getElementById("alerts");
   if (!DATA.alerts.length) { host.innerHTML = "<div class='empty'>no alerts — the watchdog stayed quiet</div>"; return; }
@@ -286,7 +306,7 @@ function trials() {
       "</tr>").join("") + "</table>";
 }
 
-tiles(); legend(); timeline(); critpath(); alerts(); trials();
+tiles(); legend(); timeline(); critpath(); perf(); alerts(); trials();
 window.addEventListener("resize", () => { timeline(); critpath(); });
 </script>
 </body>
@@ -300,6 +320,7 @@ def render_dashboard(
     title: str = "Campaign dashboard",
     subtitle: str = "",
     alerts: Sequence[Mapping[str, Any]] = (),
+    perf: Mapping[str, Any] | None = None,
 ) -> str:
     """The dashboard as one self-contained HTML string."""
     payload = {
@@ -307,6 +328,8 @@ def render_dashboard(
         # raw intervals per trial, for the segment rectangles.
         "intervals": {b.trial_id: [list(iv) for iv in b.intervals] for b in analysis.trials},
         "alerts": [dict(a) for a in alerts],
+        # the exported perf_profile.json contents (latency percentiles card).
+        "perf": dict(perf) if perf else {},
         "subtitle": subtitle
         or (
             f"{len(analysis.trials)} trials · {analysis.lane_count} slots · "
@@ -325,11 +348,12 @@ def write_dashboard(
     title: str = "Campaign dashboard",
     subtitle: str = "",
     alerts: Sequence[Mapping[str, Any]] = (),
+    perf: Mapping[str, Any] | None = None,
 ) -> Path:
     """Write ``timeline.html``; returns the path written."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(
-        render_dashboard(analysis, title=title, subtitle=subtitle, alerts=alerts)
+        render_dashboard(analysis, title=title, subtitle=subtitle, alerts=alerts, perf=perf)
     )
     return path

@@ -20,7 +20,7 @@ import json
 import math
 import threading
 from pathlib import Path
-from typing import Any, Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
 from repro.errors import ValidationError
 
@@ -85,6 +85,35 @@ class _Instrument:
 
     def _value_repr(self, value: Any) -> Any:
         return value
+
+    def _state_value(self, value: Any) -> Any:
+        return value
+
+    def _state_extra(self) -> dict[str, Any]:
+        return {}
+
+    def state(self, *, drain: bool = False) -> dict[str, Any]:
+        """Raw mergeable snapshot (the cross-process fabric format).
+
+        Unlike :meth:`to_dict`, values are exact internal state (histogram
+        bucket counts, not cumulative snapshots) so a receiving registry can
+        merge without loss. ``drain=True`` also resets the series, which is
+        how workers avoid double counting across per-trial drains.
+        """
+        with self._lock:
+            data = [
+                [list(key), self._state_value(value)]
+                for key, value in sorted(self._data.items())
+            ]
+            if drain:
+                self._data.clear()
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "data": data,
+            **self._state_extra(),
+        }
 
 
 class Counter(_Instrument):
@@ -203,6 +232,15 @@ class Histogram(_Instrument):
     def _value_repr(self, value: _HistogramState) -> Any:
         return self._snapshot_locked(value)
 
+    def _state_value(self, value: _HistogramState) -> Any:
+        return {"counts": list(value.counts), "sum": value.sum, "count": value.count}
+
+    def _state_extra(self) -> dict[str, Any]:
+        # +Inf is not JSON-portable; ``None`` marks the overflow bucket.
+        return {
+            "buckets": [None if edge == float("inf") else edge for edge in self.buckets]
+        }
+
 
 class MetricsRegistry:
     """Named instruments, created once and shared by every publisher."""
@@ -245,6 +283,75 @@ class MetricsRegistry:
     def instruments(self) -> list[_Instrument]:
         with self._lock:
             return [self._instruments[name] for name in sorted(self._instruments)]
+
+    # -- the cross-process telemetry fabric -------------------------------------
+
+    def drain_state(self) -> dict[str, Any]:
+        """Serialize-and-reset every instrument (the worker-side drain)."""
+        state: dict[str, Any] = {}
+        for inst in self.instruments():
+            snapshot = inst.state(drain=True)
+            if snapshot["data"]:
+                state[inst.name] = snapshot
+        return state
+
+    def merge_state(self, state: Mapping[str, Any]) -> int:
+        """Merge a drained payload (typically from a worker process).
+
+        Counters accumulate, gauges take the incoming value (last write
+        wins), histograms add bucket counts elementwise. Returns the number
+        of series merged; malformed or conflicting entries are skipped, not
+        fatal.
+        """
+        if not self.enabled:
+            return 0
+        merged = 0
+        for name, inst_state in dict(state).items():
+            try:
+                merged += self._merge_instrument(str(name), inst_state)
+            except (ValidationError, TypeError, ValueError, KeyError):
+                continue
+        return merged
+
+    def _merge_instrument(self, name: str, inst_state: Mapping[str, Any]) -> int:
+        kind = inst_state.get("kind")
+        help_text = str(inst_state.get("help", ""))
+        labelnames = [str(n) for n in inst_state.get("labelnames", ())]
+        data = inst_state.get("data", ())
+        merged = 0
+        if kind == "counter":
+            counter = self.counter(name, help_text, labelnames)
+            for key, value in data:
+                counter.inc(float(value), **dict(zip(labelnames, key)))
+                merged += 1
+        elif kind == "gauge":
+            gauge = self.gauge(name, help_text, labelnames)
+            for key, value in data:
+                gauge.set(float(value), **dict(zip(labelnames, key)))
+                merged += 1
+        elif kind == "histogram":
+            raw_buckets = inst_state.get("buckets") or None
+            buckets = (
+                [float("inf") if edge is None else float(edge) for edge in raw_buckets]
+                if raw_buckets
+                else None
+            )
+            hist = self.histogram(name, help_text, labelnames, buckets)
+            for key, value in data:
+                counts = [int(c) for c in value["counts"]]
+                if len(counts) != len(hist.buckets):
+                    continue  # incompatible bucket layout: refuse silently
+                label_key = tuple(str(part) for part in key)
+                with hist._lock:
+                    hstate = hist._data.get(label_key)
+                    if hstate is None:
+                        hstate = hist._data[label_key] = _HistogramState(len(hist.buckets))
+                    for i, c in enumerate(counts):
+                        hstate.counts[i] += c
+                    hstate.sum += float(value["sum"])
+                    hstate.count += int(value["count"])
+                merged += 1
+        return merged
 
     # -- export ----------------------------------------------------------------
 

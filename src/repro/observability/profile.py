@@ -14,17 +14,41 @@ stores them on :attr:`Trial.cost <repro.search.trial.Trial.cost>`;
 :func:`aggregate_costs` pools them into the campaign-level profile folded
 into the Phase III :class:`~repro.optimizer.summary.ReproducibilitySummary`,
 so a summary can explain where its own wall-clock went.
+
+Beyond the pooled sums, the profile now carries per-component latency
+*percentiles* (p50/p90/p99 via :class:`~repro.observability.digest.
+LatencyDigest`) — means hide the tail, and the tail is exactly what the
+perf-regression gate watches.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Iterable, Mapping
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.observability.digest import LatencyDigest
 
 __all__ = ["CostBreakdown", "aggregate_costs", "COST_COMPONENTS"]
 
 #: component keys, in cycle order.
 COST_COMPONENTS = ("suggest_s", "evaluate_s", "tell_s")
+
+#: components that also get a percentile column (cycle + executor wait).
+PERCENTILE_COMPONENTS = ("suggest_s", "evaluate_s", "tell_s", "queue_wait_s")
+
+
+def _finite(value: Any) -> Optional[float]:
+    """``float(value)`` when it yields a finite number, else ``None``.
+
+    Cost dicts cross process boundaries and checkpoints; a NaN/inf/str
+    entry must degrade to "no data", never poison the campaign totals.
+    """
+    try:
+        out = float(value)
+    except (TypeError, ValueError):
+        return None
+    return out if math.isfinite(out) else None
 
 
 @dataclass
@@ -40,6 +64,10 @@ class CostBreakdown:
     timeouts: int = 0
     #: trials served from the evaluation cache instead of re-simulated.
     cache_hits: int = 0
+    #: pooled executor queue wait (submit → worker pickup), when measured.
+    queue_wait_s: float = 0.0
+    #: per-component latency percentiles (component → p50/p90/p99 dict).
+    percentiles: dict[str, dict[str, float]] = field(default_factory=dict)
 
     @property
     def total_s(self) -> float:
@@ -67,11 +95,13 @@ class CostBreakdown:
             "suggest_s": self.suggest_s,
             "evaluate_s": self.evaluate_s,
             "tell_s": self.tell_s,
+            "queue_wait_s": self.queue_wait_s,
             "retries": self.retries,
             "timeouts": self.timeouts,
             "cache_hits": self.cache_hits,
             "fractions": self.fractions(),
             "mean_per_trial": per_trial,
+            "percentiles": {k: dict(v) for k, v in self.percentiles.items()},
         }
 
     def __str__(self) -> str:
@@ -84,16 +114,44 @@ class CostBreakdown:
 
 
 def aggregate_costs(costs: Iterable[Mapping[str, float]]) -> CostBreakdown:
-    """Pool per-trial ``cost`` dicts; entries without data are skipped."""
+    """Pool per-trial ``cost`` dicts; entries without data are skipped.
+
+    Robust against dirty cost dicts (NaN/inf/non-numeric values — e.g. a
+    corrupted checkpoint or a misbehaving trainable writing into
+    ``trial.cost``): a bad value contributes nothing instead of turning the
+    whole campaign profile into NaN.
+    """
     out = CostBreakdown()
+    digests = {key: LatencyDigest() for key in PERCENTILE_COMPONENTS}
     for cost in costs:
         if not cost:
             continue
         out.trials += 1
-        out.suggest_s += float(cost.get("suggest_s", 0.0))
-        out.evaluate_s += float(cost.get("evaluate_s", 0.0))
-        out.tell_s += float(cost.get("tell_s", 0.0))
-        out.retries += int(cost.get("retries", 0))
-        out.timeouts += int(cost.get("timeouts", 0))
-        out.cache_hits += int(cost.get("cache_hit", 0))
+        for key in COST_COMPONENTS:
+            if key not in cost:
+                continue  # absent ≠ zero: keep it out of the percentile pool
+            value = _finite(cost[key])
+            if value is not None:
+                setattr(out, key, getattr(out, key) + value)
+                digests[key].add(value)
+        wait = _finite(cost.get("queue_wait_s"))
+        if wait is not None:
+            out.queue_wait_s += wait
+            digests["queue_wait_s"].add(wait)
+        for attr, key in (
+            ("retries", "retries"),
+            ("timeouts", "timeouts"),
+            ("cache_hits", "cache_hit"),
+        ):
+            value = _finite(cost.get(key, 0))
+            if value is not None:
+                setattr(out, attr, getattr(out, attr) + int(value))
+    for key, digest in digests.items():
+        if digest.count:
+            stats = digest.percentiles()
+            out.percentiles[key] = {
+                "p50": stats["p50"],
+                "p90": stats["p90"],
+                "p99": stats["p99"],
+            }
     return out

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Any, Optional
 
 from repro.errors import ValidationError
+from repro.observability.digest import PERF_PROFILE_FILE
 from repro.observability.trace import Span, load_spans
 from repro.observability.watchdog import ALERTS_FILE, load_alerts
 from repro.utils.tables import Table
@@ -50,6 +51,8 @@ class RunArtifacts:
     manifest: dict[str, Any] = field(default_factory=dict)
     trials: list[dict[str, Any]] = field(default_factory=list)
     alerts: list[dict[str, Any]] = field(default_factory=list)
+    #: the exported latency-digest profile (``perf_profile.json``).
+    perf: dict[str, Any] = field(default_factory=dict)
 
 
 def _load_json(path: Path) -> dict[str, Any]:
@@ -91,7 +94,13 @@ def load_run(run_dir: str | Path) -> RunArtifacts:
     artifacts.trials = _load_trials(root)
     if (root / ALERTS_FILE).exists():
         artifacts.alerts = [alert.to_dict() for alert in load_alerts(root / ALERTS_FILE)]
-    if not (artifacts.spans or artifacts.summary or artifacts.trials or artifacts.metrics):
+    if (root / PERF_PROFILE_FILE).exists():
+        artifacts.perf = _load_json(root / PERF_PROFILE_FILE)
+    # A degenerate run (zero trials, an aborted export) may leave only empty
+    # artifact files behind; report what exists rather than refusing. Only a
+    # directory with no known artifact *files* at all is an error.
+    known = [SPANS_FILE, METRICS_FILE, SUMMARY_FILE, MANIFEST_FILE, PERF_PROFILE_FILE, ALERTS_FILE]
+    if not any((root / name).exists() for name in known) and not list(root.glob("*.jsonl")):
         raise ValidationError(
             f"{root} holds no observability artifacts "
             f"({SPANS_FILE}, {METRICS_FILE}, {SUMMARY_FILE} or a trial log)"
@@ -274,6 +283,40 @@ def _render_critical_path(spans: list[Span]) -> str:
     return "\n".join(lines)
 
 
+def _render_perf(perf: dict[str, Any]) -> str:
+    ops = perf.get("ops") or {}
+    if not ops:
+        return ""
+    table = Table(
+        ["op", "count", "mean", "p50", "p90", "p99"],
+        title="--- latency percentiles ---",
+    )
+
+    def _cell(entry: dict[str, Any], key: str) -> str:
+        value = entry.get(key)
+        if not isinstance(value, (int, float)) or value != value:
+            return "-"
+        if value < 1e-3:
+            return f"{value * 1e6:.1f}us"
+        if value < 1.0:
+            return f"{value * 1e3:.2f}ms"
+        return f"{value:.3f}s"
+
+    for op in sorted(ops):
+        entry = ops[op] if isinstance(ops[op], dict) else {}
+        table.add_row(
+            [
+                op,
+                f"{int(entry.get('count', 0))}",
+                _cell(entry, "mean"),
+                _cell(entry, "p50"),
+                _cell(entry, "p90"),
+                _cell(entry, "p99"),
+            ]
+        )
+    return table.render()
+
+
 def _render_alerts(artifacts: RunArtifacts) -> str:
     alerts = artifacts.alerts or artifacts.summary.get("alerts", {}).get("alerts", [])
     if not alerts:
@@ -308,6 +351,7 @@ def render_report(artifacts: RunArtifacts, *, top_k: int = 10) -> str:
         _render_summary(artifacts.summary),
         _render_timeline(artifacts.spans),
         _render_critical_path(artifacts.spans),
+        _render_perf(artifacts.perf),
         _render_alerts(artifacts),
         _render_trials(artifacts),
         _render_slowest(artifacts.spans, top_k),

@@ -173,7 +173,9 @@ class Tracer:
         """Begin a span manually (for cross-thread lifecycles)."""
         return NOOP_SPAN
 
-    def end_span(self, span: Any, *, error: str | None = None) -> None:
+    def end_span(
+        self, span: Any, *, error: str | None = None, end: float | None = None
+    ) -> None:
         """Finish a span started with :meth:`start_span`."""
 
     def current(self) -> Any:
@@ -203,12 +205,17 @@ class RecordingTracer(Tracer):
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._epoch = time.perf_counter()
-        #: wall-clock timestamp of the epoch, for report headers.
+        #: wall-clock timestamp of the epoch, for report headers and for
+        #: rebasing spans merged from other processes (the telemetry fabric).
         self.started_at = time.time()
         self._next_id = 0
         self._finished: list[Span] = []
         self._stack = threading.local()
         self._subscribers: list[Callable[[Span], None]] = []
+        #: self-metrics: spans finished (own + ingested) and subscriber
+        #: callbacks that raised — observability overhead made observable.
+        self.spans_recorded = 0
+        self.subscriber_errors = 0
 
     # -- clocks and ids -------------------------------------------------------
 
@@ -256,25 +263,32 @@ class RecordingTracer(Tracer):
             span.attributes["_sim_clock"] = sim_clock  # popped at end_span
         return span
 
-    def end_span(self, span: Span, *, error: str | None = None) -> None:
+    def end_span(
+        self, span: Span, *, error: str | None = None, end: float | None = None
+    ) -> None:
         sim_clock = span.attributes.pop("_sim_clock", None)
         if sim_clock is not None:
             span.sim_end = float(sim_clock())
-        span.end_s = self.clock()
+        span.end_s = self.clock() if end is None else end
         if error is not None:
             span.status = "error"
             span.error = error
         with self._lock:
             self._finished.append(span)
+            self.spans_recorded += 1
             subscribers = list(self._subscribers) if self._subscribers else None
         if subscribers is not None:
-            for callback in subscribers:
-                try:
-                    callback(span)
-                except Exception:
-                    # A broken consumer (e.g. a watchdog rule) must never take
-                    # down the instrumented campaign.
-                    pass
+            self._notify(span, subscribers)
+
+    def _notify(self, span: Span, subscribers: list[Callable[[Span], None]]) -> None:
+        for callback in subscribers:
+            try:
+                callback(span)
+            except Exception:
+                # A broken consumer (e.g. a watchdog rule) must never take
+                # down the instrumented campaign.
+                with self._lock:
+                    self.subscriber_errors += 1
 
     def subscribe(self, callback: Callable[[Span], None]) -> None:
         """Stream every finished span to ``callback`` as it completes."""
@@ -308,6 +322,77 @@ class RecordingTracer(Tracer):
             stack.pop()
             if span.end_s is None:
                 self.end_span(span)
+
+    # -- the cross-process telemetry fabric ----------------------------------
+
+    def drain(self) -> list[Span]:
+        """Remove and return every finished span (the worker-side drain).
+
+        Workers drain after each trial so the payload shipped back to the
+        parent never double counts a span across trials.
+        """
+        with self._lock:
+            spans = self._finished
+            self._finished = []
+            return spans
+
+    def ingest(
+        self,
+        spans: list[dict[str, Any]],
+        *,
+        parent: Span | None = None,
+        epoch_unix: float | None = None,
+        attributes: dict[str, Any] | None = None,
+    ) -> tuple[int, int]:
+        """Merge foreign span dicts (another process's tracer) into this one.
+
+        Span ids are remapped into this tracer's id space with intra-payload
+        parentage preserved; spans whose parent is not in the payload attach
+        to ``parent`` (typically the trial span). ``epoch_unix`` — the
+        foreign tracer's ``started_at`` — rebases the foreign clock onto
+        this tracer's timeline. ``attributes`` (``runner_id``/``pid``/...)
+        are stamped onto every merged span. Subscribers (the live watchdog)
+        see each merged span exactly as if it finished locally.
+
+        Returns ``(merged, dropped)``; malformed entries are dropped, never
+        fatal.
+        """
+        parsed: list[tuple[int, Span]] = []
+        dropped = 0
+        for data in spans:
+            try:
+                span = Span.from_dict(data)
+                if span.end_s is None:
+                    raise ValueError("open span cannot be ingested")
+            except (TypeError, ValueError, KeyError):
+                dropped += 1
+                continue
+            parsed.append((span.span_id, span))
+        offset = 0.0
+        if epoch_unix is not None:
+            offset = float(epoch_unix) - self.started_at
+        # two passes: ids first, then parents, so a child whose parent
+        # finishes later in the payload still remaps correctly.
+        id_map = {old_id: self._new_id() for old_id, _ in parsed}
+        fallback_parent = parent.span_id if parent is not None else None
+        default_attrs = dict(attributes or {})
+        accepted: list[Span] = []
+        for old_id, span in parsed:
+            span.span_id = id_map[old_id]
+            span.parent_id = id_map.get(span.parent_id, fallback_parent)
+            span.start_s += offset
+            span.end_s = (span.end_s or 0.0) + offset
+            if default_attrs:
+                span.attributes.update(default_attrs)
+            accepted.append(span)
+        with self._lock:
+            self._finished.extend(accepted)
+            self.spans_recorded += len(accepted)
+            subscribers = list(self._subscribers) if self._subscribers else None
+        if subscribers is not None:
+            for span in accepted:
+                self._notify(span, subscribers)
+        return len(accepted), dropped
 
     # -- results --------------------------------------------------------------
 

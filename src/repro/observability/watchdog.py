@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Any, Iterable, Mapping, Optional
 
 from repro.errors import ValidationError
+from repro.observability.digest import LatencyDigest
 from repro.observability.metrics import get_registry
 
 __all__ = [
@@ -49,7 +50,7 @@ __all__ = [
 ALERTS_FILE = "alerts.jsonl"
 
 #: every alert kind the watchdog can raise.
-ALERT_KINDS = ("straggler", "stall", "regression", "saturation", "fault_storm")
+ALERT_KINDS = ("straggler", "stall", "regression", "saturation", "fault_storm", "tail")
 
 
 @dataclass
@@ -77,6 +78,12 @@ class WatchdogConfig:
     metric: str = "objective"
     #: optimization direction of ``metric`` ("min" or "max").
     mode: str = "min"
+    #: percentile-based tail rule: fire when an execute span exceeds
+    #: ``tail_factor`` × the running ``tail_quantile`` duration. Disabled by
+    #: default (``tail_factor=0``) — the z-score straggler rule is cheaper
+    #: and the digest-backed rule is opt-in for long campaigns.
+    tail_quantile: float = 0.99
+    tail_factor: float = 0.0
 
     def __post_init__(self) -> None:
         if self.straggler_zscore <= 0:
@@ -97,6 +104,10 @@ class WatchdogConfig:
             raise ValidationError("watchdog.max_alerts_per_kind must be >= 1")
         if self.mode not in ("min", "max"):
             raise ValidationError("watchdog.mode must be 'min' or 'max'")
+        if not 0 < self.tail_quantile < 1:
+            raise ValidationError("watchdog.tail_quantile must be in (0, 1)")
+        if self.tail_factor < 0:
+            raise ValidationError("watchdog.tail_factor must be >= 0")
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "WatchdogConfig":
@@ -151,6 +162,8 @@ class CampaignWatchdog:
         self._counts: dict[str, int] = {}
         self._suppressed = 0
         self._durations: list[float] = []
+        #: digest behind the opt-in percentile tail rule.
+        self._duration_digest = LatencyDigest()
         self._objectives: list[float] = []
         self._best = math.inf
         self._since_improve = 0
@@ -190,9 +203,32 @@ class CampaignWatchdog:
         with self._lock:
             baseline = list(self._durations)
             self._durations.append(float(duration))
+            tail_threshold = None
+            if self.config.tail_factor > 0:
+                if self._duration_digest.count >= self.config.straggler_min_trials:
+                    tail_threshold = self.config.tail_factor * self._duration_digest.quantile(
+                        self.config.tail_quantile
+                    )
+                self._duration_digest.add(float(duration))
         if span.status != "ok":
             self._record_fault(when, trial_id, span.error)
             return
+        if tail_threshold is not None and tail_threshold > 0 and duration >= tail_threshold:
+            self._emit(
+                "tail",
+                "warning",
+                f"trial {trial_id} took {duration:.3f}s, beyond "
+                f"{self.config.tail_factor:g}× the running "
+                f"p{self.config.tail_quantile * 100:g} ({tail_threshold:.3f}s)",
+                key=f"tail:{trial_id}",
+                time_s=when,
+                details={
+                    "trial_id": trial_id,
+                    "duration_s": float(duration),
+                    "threshold_s": float(tail_threshold),
+                    "quantile": self.config.tail_quantile,
+                },
+            )
         if len(baseline) < self.config.straggler_min_trials:
             return
         z = _robust_zscore(duration, baseline)
@@ -423,6 +459,7 @@ class CampaignWatchdog:
                 duration = cost.get("evaluate_s")
                 if isinstance(duration, (int, float)) and duration == duration:
                     self._durations.append(float(duration))
+                    self._duration_digest.add(float(duration))
                 result = record.get("result") or {}
                 value = result.get(self.config.metric)
                 if isinstance(value, (int, float)) and value == value:

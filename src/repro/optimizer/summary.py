@@ -90,6 +90,18 @@ class ReproducibilitySummary:
                 f"tell {self.cost_profile.get('tell_s', 0.0):.3f} s "
                 f"({fractions.get('tell_s', 0.0):.0%})"
             )
+            percentiles = self.cost_profile.get("percentiles") or {}
+            for key in ("suggest_s", "evaluate_s", "tell_s", "queue_wait_s"):
+                stats = percentiles.get(key)
+                if not stats:
+                    continue
+                label = key[: -len("_s")].replace("_", "-")
+                lines.append(
+                    f"  {label + ':':<12s}"
+                    f"p50 {stats.get('p50', float('nan')):.4f} s | "
+                    f"p90 {stats.get('p90', float('nan')):.4f} s | "
+                    f"p99 {stats.get('p99', float('nan')):.4f} s"
+                )
             retries = int(self.cost_profile.get("retries", 0))
             timeouts = int(self.cost_profile.get("timeouts", 0))
             if retries or timeouts:

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from pathlib import Path
 from typing import Any, Mapping, Optional
 
@@ -79,6 +80,18 @@ class EvalCache:
         ``min_replicates`` stored results; the first stored replicate is
         returned, so a deterministic objective replays byte-identically.
         """
+        from repro.observability.digest import get_perf
+
+        perf = get_perf()
+        if not perf.enabled:
+            return self._lookup(config)
+        start = time.perf_counter()
+        try:
+            return self._lookup(config)
+        finally:
+            perf.record("evalcache_lookup", time.perf_counter() - start)
+
+    def _lookup(self, config: Mapping[str, Any]) -> Optional[dict[str, float]]:
         key = self.key(config)
         with self._lock:
             replicates = self._entries.get(key)

@@ -29,6 +29,8 @@ from typing import Any, Callable, Optional
 from repro.bayesopt.space import Space
 from repro.errors import TrialError, ValidationError
 from repro.faults.context import injection_occurred, reset_injection_flag, set_current_attempt
+from repro.observability import fabric
+from repro.observability.digest import get_perf
 from repro.observability.metrics import get_registry
 from repro.observability.profile import CostBreakdown, aggregate_costs
 from repro.observability.trace import Tracer, get_tracer
@@ -110,34 +112,29 @@ def _attempt_once(
 _WORKER_TRAINABLE: Optional[Trainable] = None
 
 
-def _pool_init(trainable: Trainable) -> None:
-    """Process-pool initializer: register the trainable once per worker."""
+def _pool_init(
+    trainable: Trainable, telemetry: bool = False, runner_name: str = "experiment"
+) -> None:
+    """Process-pool initializer: register the trainable once per worker.
+
+    With ``telemetry`` the worker also joins the cross-process fabric —
+    a worker-local tracer/registry/perf recorder captures everything the
+    trainable's instrumentation records, shipped back per trial.
+    """
     global _WORKER_TRAINABLE
     _WORKER_TRAINABLE = trainable
+    if telemetry:
+        fabric.activate_worker(runner_name)
 
 
-def _process_entry(
-    trainable: Optional[Trainable],
+def _process_attempts(
+    trainable: Trainable,
     config: dict[str, Any],
-    max_retries: int = 0,
-    backoff_s: float = 0.0,
-    timeout_s: float | None = None,
+    max_retries: int,
+    backoff_s: float,
+    timeout_s: float | None,
 ) -> dict[str, Any]:
-    """Top-level entry for process executors (picklable).
-
-    ``trainable=None`` uses the per-worker registration from
-    :func:`_pool_init`, so each submission ships only the compact trial
-    spec (config + retry knobs), not a re-pickled trainable/conf object.
-    The retry/timeout loop runs *inside* the worker so the parent's drain
-    loop stays a plain future wait. Never raises for trainable failures —
-    the structured payload carries the outcome plus retry/timeout counts
-    and a ``tainted`` marker (fault injected or timed out on the final
-    attempt) the evaluation cache uses to refuse admission.
-    """
-    if trainable is None:
-        trainable = _WORKER_TRAINABLE
-        if trainable is None:  # pragma: no cover - defensive
-            return {"ok": False, "error": "no trainable registered in worker", "retries": 0, "timeouts": 0, "tainted": True}
+    """The worker-side retry/timeout loop shared by all process entries."""
     retries = 0
     timeouts = 0
     payload: Any = None
@@ -166,6 +163,55 @@ def _process_entry(
         "timeouts": timeouts,
         "tainted": True,
     }
+
+
+def _process_entry(
+    trainable: Optional[Trainable],
+    config: dict[str, Any],
+    max_retries: int = 0,
+    backoff_s: float = 0.0,
+    timeout_s: float | None = None,
+    trial_id: str | None = None,
+    submitted_unix: float | None = None,
+) -> dict[str, Any]:
+    """Top-level entry for process executors (picklable).
+
+    ``trainable=None`` uses the per-worker registration from
+    :func:`_pool_init`, so each submission ships only the compact trial
+    spec (config + retry knobs), not a re-pickled trainable/conf object.
+    The retry/timeout loop runs *inside* the worker so the parent's drain
+    loop stays a plain future wait. Never raises for trainable failures —
+    the structured payload carries the outcome plus retry/timeout counts
+    and a ``tainted`` marker (fault injected or timed out on the final
+    attempt) the evaluation cache uses to refuse admission.
+
+    In a fabric-activated worker the payload additionally carries
+    worker-measured ``queue_wait_s``/``evaluate_s`` and a ``telemetry``
+    blob (spans, metrics, latency digests) for the parent to merge.
+    """
+    if trainable is None:
+        trainable = _WORKER_TRAINABLE
+        if trainable is None:  # pragma: no cover - defensive
+            return {"ok": False, "error": "no trainable registered in worker", "retries": 0, "timeouts": 0, "tainted": True}
+    if not fabric.worker_active():
+        return _process_attempts(trainable, config, max_retries, backoff_s, timeout_s)
+    perf = get_perf()
+    queue_wait = 0.0
+    if submitted_unix is not None:
+        # Submit→pickup across the process boundary: only wall clocks are
+        # shared, so the parent stamps a unix timestamp at submit time.
+        queue_wait = max(0.0, time.time() - float(submitted_unix))
+        perf.record("queue_wait", queue_wait)
+    tracer = get_tracer()
+    start = time.perf_counter()
+    with tracer.span("evaluate", trial_id=trial_id):
+        result = _process_attempts(trainable, config, max_retries, backoff_s, timeout_s)
+    evaluate_s = time.perf_counter() - start
+    perf.record("evaluate", evaluate_s)
+    result["queue_wait_s"] = queue_wait
+    result["evaluate_s"] = evaluate_s
+    result["telemetry"] = fabric.drain_worker()
+    return result
 
 
 @dataclass
@@ -331,6 +377,7 @@ class TrialRunner:
     def _open_trial(self, trial: Trial, suggest_s: float) -> None:
         """Record the suggest cost; open the trial span if tracing."""
         trial.cost["suggest_s"] = suggest_s
+        get_perf().record("suggest", suggest_s)
         tracer = self._tracer
         if not tracer.enabled:
             return
@@ -383,6 +430,7 @@ class TrialRunner:
             return
         wait_s = time.perf_counter() - submitted
         trial.cost["queue_wait_s"] = wait_s
+        get_perf().record("queue_wait", wait_s)
         tracer = self._tracer
         if not tracer.enabled:
             return
@@ -434,6 +482,7 @@ class TrialRunner:
             trial.cost["fault_injected"] = 1.0
         trial.runtime_s = time.perf_counter() - start
         trial.cost["evaluate_s"] = trial.runtime_s
+        get_perf().record("evaluate", trial.runtime_s)
         self._record_execute_span(trial, trial.runtime_s)
 
     def _run_attempt(self, scratch: Trial, attempt: int) -> bool:
@@ -609,6 +658,7 @@ class TrialRunner:
                 start = time.perf_counter()
                 self.search_alg.on_trial_complete(trial.trial_id, trial.config, value)
                 trial.cost["tell_s"] = time.perf_counter() - start
+                get_perf().record("tell", trial.cost["tell_s"])
                 tracer = self._tracer
                 if tracer.enabled:
                     with self._lock:
@@ -694,11 +744,15 @@ class TrialRunner:
             pool_cm = ThreadPoolExecutor(max_workers=self.max_workers)
         else:
             # The initializer registers the trainable once per worker, so
-            # each submission ships only a compact per-trial spec.
+            # each submission ships only a compact per-trial spec. Workers
+            # join the telemetry fabric whenever the parent is observing.
+            telemetry = bool(
+                self._tracer.enabled or get_registry().enabled or get_perf().enabled
+            )
             pool_cm = ProcessPoolExecutor(
                 max_workers=self.max_workers,
                 initializer=_pool_init,
-                initargs=(self.trainable,),
+                initargs=(self.trainable, telemetry, self.name),
             )
         with pool_cm as pool:
             futures: dict[Future, Trial] = {}
@@ -774,6 +828,8 @@ class TrialRunner:
                 self.max_retries,
                 self.retry_backoff_s,
                 self.trial_timeout_s,
+                trial.trial_id,
+                time.time(),  # wall clock: the only timeline workers share
             )
         return pool.submit(self._run_threaded, trial)
 
@@ -785,6 +841,7 @@ class TrialRunner:
         if self.executor_kind != "process":
             future.result()  # propagate unexpected harness errors only
             return
+        payload: Any = None
         try:
             payload = future.result()
         except Exception as exc:  # noqa: BLE001 - harness-level failure (pickling, pool death)
@@ -810,11 +867,55 @@ class TrialRunner:
             else:
                 trial.error = str(payload.get("error") or "trial failed")
                 trial.status = TrialStatus.ERROR
-        trial.runtime_s = time.perf_counter() - (trial._start or time.perf_counter())
-        # Includes the executor queue wait: across a process boundary only the
-        # submit→collect wall is observable.
-        trial.cost["evaluate_s"] = trial.runtime_s
-        self._record_execute_span(trial, trial.runtime_s)
+        wall = time.perf_counter() - (trial._start or time.perf_counter())
+        trial.runtime_s = wall
+        worker = payload if isinstance(payload, dict) and "evaluate_s" in payload else None
+        if worker is not None:
+            # A fabric worker measured the split itself: clamp both pieces to
+            # the parent-observed wall (clock skew must not inflate costs).
+            evaluate_s = min(max(float(worker["evaluate_s"]), 0.0), wall)
+            queue_wait_s = min(
+                max(float(worker.get("queue_wait_s", 0.0)), 0.0),
+                max(wall - evaluate_s, 0.0),
+            )
+            trial.cost["evaluate_s"] = evaluate_s
+            if queue_wait_s > 0:
+                trial.cost["queue_wait_s"] = queue_wait_s
+                self._record_process_wait_span(trial, wall, queue_wait_s)
+            self._record_execute_span(trial, evaluate_s)
+        else:
+            # Pre-fabric fallback: only the submit→collect wall is
+            # observable, queue wait included.
+            trial.cost["evaluate_s"] = wall
+            get_perf().record("evaluate", wall)
+            self._record_execute_span(trial, wall)
+        telemetry = payload.get("telemetry") if isinstance(payload, dict) else None
+        if telemetry is not None:
+            with self._lock:
+                trial_span = self._trial_spans.get(trial.trial_id)
+            fabric.merge_payload(
+                telemetry, parent=trial_span, attributes={"trial_id": trial.trial_id}
+            )
+
+    def _record_process_wait_span(
+        self, trial: Trial, wall_s: float, queue_wait_s: float
+    ) -> None:
+        """Backdated queue-wait span for the process executor.
+
+        The wait happened at the *start* of the submit→collect wall, so the
+        span is stamped ``[now - wall, now - wall + wait]`` via the explicit
+        ``end=`` override.
+        """
+        tracer = self._tracer
+        if not tracer.enabled:
+            return
+        with self._lock:
+            parent = self._trial_spans.get(trial.trial_id)
+        now = tracer.clock()
+        span = tracer.start_span(
+            "queue-wait", parent=parent, start=now - wall_s, trial_id=trial.trial_id
+        )
+        tracer.end_span(span, end=now - wall_s + queue_wait_s)
 
     def _analysis(self, trials: list[Trial], start: float) -> ExperimentAnalysis:
         return ExperimentAnalysis(

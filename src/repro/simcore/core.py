@@ -383,14 +383,21 @@ class Environment:
                 heapq.heappush(self._queue, (at, -1, self._eid, stop))
             stop.callbacks.append(_stop_callback)
 
-        wall_start = time.perf_counter() if self._stats is not None else 0.0
+        from repro.observability.digest import get_perf
+
+        perf = get_perf()
+        track = self._stats is not None or perf.enabled
+        wall_start = time.perf_counter() if track else 0.0
         try:
             self._run_loop(wall_deadline, wall_timeout_s)
         except StopSimulation as signal:
             return signal.args[0] if signal.args else None
         finally:
-            if self._stats is not None:
-                self._stats.wall_s += time.perf_counter() - wall_start
+            if track:
+                elapsed = time.perf_counter() - wall_start
+                if self._stats is not None:
+                    self._stats.wall_s += elapsed
+                perf.record("des_run", elapsed)
 
         if stop is not None and isinstance(until, Event) and not stop.triggered:
             raise SimulationError(

@@ -441,3 +441,61 @@ class TestCampaignIntegration:
         # unless the replayed durations seeded the baseline).
         assert stragglers, outcome.summary.alerts
         assert calls["n"] == 10
+
+
+class TestTailRule:
+    def test_disabled_by_default(self):
+        watchdog = CampaignWatchdog(WatchdogConfig(straggler_min_trials=2))
+        for i in range(6):
+            watchdog.on_span(_execute_span(i + 1, f"t{i}", 1.0))
+        watchdog.on_span(_execute_span(10, "slow", 40.0))
+        assert all(a.kind != "tail" for a in watchdog.alerts())
+
+    def test_fires_on_tail_outlier(self):
+        config = WatchdogConfig(straggler_min_trials=4, tail_factor=3.0)
+        watchdog = CampaignWatchdog(config)
+        for i in range(8):
+            watchdog.on_span(_execute_span(i + 1, f"t{i}", 1.0 + 0.01 * i))
+        watchdog.on_span(_execute_span(20, "slow", 30.0))
+        tails = [a for a in watchdog.alerts() if a.kind == "tail"]
+        assert len(tails) == 1
+        details = tails[0].details
+        assert details["trial_id"] == "slow"
+        assert details["duration_s"] == pytest.approx(30.0)
+        assert details["threshold_s"] < 30.0
+        assert details["quantile"] == pytest.approx(0.99)
+
+    def test_not_armed_before_min_trials(self):
+        config = WatchdogConfig(straggler_min_trials=5, tail_factor=2.0)
+        watchdog = CampaignWatchdog(config)
+        watchdog.on_span(_execute_span(1, "t0", 1.0))
+        watchdog.on_span(_execute_span(2, "slow", 50.0))
+        assert all(a.kind != "tail" for a in watchdog.alerts())
+
+    def test_same_trial_deduped(self):
+        config = WatchdogConfig(straggler_min_trials=3, tail_factor=2.0)
+        watchdog = CampaignWatchdog(config)
+        for i in range(5):
+            watchdog.on_span(_execute_span(i + 1, f"t{i}", 1.0))
+        watchdog.on_span(_execute_span(10, "slow", 20.0))
+        watchdog.on_span(_execute_span(11, "slow", 20.0))
+        assert len([a for a in watchdog.alerts() if a.kind == "tail"]) == 1
+
+    def test_seed_from_trials_feeds_digest(self):
+        config = WatchdogConfig(straggler_min_trials=4, tail_factor=3.0)
+        watchdog = CampaignWatchdog(config)
+        seeded = watchdog.seed_from_trials(
+            [{"trial_id": f"r{i}", "cost": {"evaluate_s": 1.0}} for i in range(6)]
+        )
+        assert seeded == 6
+        # the very next outlier fires without any fresh trials
+        watchdog.on_span(_execute_span(1, "slow", 25.0))
+        assert any(a.kind == "tail" for a in watchdog.alerts())
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [{"tail_quantile": 0.0}, {"tail_quantile": 1.0}, {"tail_factor": -1.0}],
+    )
+    def test_config_validation(self, overrides):
+        with pytest.raises(ValidationError):
+            WatchdogConfig(**overrides)
