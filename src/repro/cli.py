@@ -10,6 +10,16 @@ Subcommands::
         interrupted campaign continues from its checkpoint: finished
         trials are replayed into the searcher instead of re-executed.
 
+    e2clab-repro worker RUN_DIR [--runner-id ID] [--idle-timeout S]
+        Join a store-backed distributed campaign as an elastic trial
+        worker: open the campaign's trial store, claim trials under
+        lease+heartbeat, execute them with the evaluator rebuilt from the
+        run directory's ``optimizer_conf.json``, and exit when the
+        campaign closes. Any number of workers may join or leave
+        mid-campaign (even from other hosts sharing the run directory);
+        a killed worker's trial is reclaimed by a peer once its lease
+        expires.
+
     e2clab-repro scenario [--config baseline|preliminary|refined]
                           [--requests N] [--duration S] [--repetitions K]
         Run one configuration and print its metrics.
@@ -95,6 +105,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="resume an interrupted campaign from its experiment directory "
         "(finished trials are replayed from checkpoint.json, not re-run)",
+    )
+
+    p_wrk = sub.add_parser(
+        "worker", help="join a store-backed campaign as an elastic trial worker"
+    )
+    p_wrk.add_argument(
+        "run_dir", help="the campaign's experiment directory (holds store/ and optimizer_conf.json)"
+    )
+    p_wrk.add_argument(
+        "--runner-id", default=None, help="worker identity (default: <name>/<host>-<pid>)"
+    )
+    p_wrk.add_argument(
+        "--poll", type=float, default=0.1, help="seconds between claim attempts when idle"
+    )
+    p_wrk.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="exit after this many seconds without claimable work (default: wait for close)",
+    )
+    p_wrk.add_argument(
+        "--max-trials", type=int, default=None, help="exit after completing this many trials"
     )
 
     p_sc = sub.add_parser("scenario", help="run one Pl@ntNet configuration")
@@ -197,7 +229,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     if args.resume is None:
         # Save the conf next to the artifacts so `--resume RUN_DIR` can
         # rebuild the campaign without the original file.
-        dump_json(conf.to_dict(), Path(manager.run_dir) / "optimizer_conf.json")
+        dump_json(conf.to_dict(), Path(manager.run_dir) / "optimizer_conf.json", atomic=True)
     outcome = manager.run()
     print(outcome.summary.render())
     if outcome.validation is not None:
@@ -208,6 +240,48 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             f"(render with: python -m repro report {manager.run_dir} | "
             f"python -m repro dashboard {manager.run_dir})"
         )
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.search.store import TrialStore
+    from repro.search.worker import (
+        default_runner_id,
+        run_worker,
+        worker_trainable_from_run_dir,
+    )
+
+    run_dir = Path(args.run_dir)
+    store_dir = run_dir / "store"
+    if not (store_dir / "store.json").exists():
+        raise SystemExit(
+            f"no trial store under {store_dir} — start the campaign parent "
+            "(executor: 'store') first, then join workers"
+        )
+    store = TrialStore.open(store_dir)
+    trainable = worker_trainable_from_run_dir(run_dir)
+    runner_id = args.runner_id or default_runner_id(
+        str(store.meta.get("name", "")) or None
+    )
+    print(f"worker {runner_id} joining {store_dir}")
+
+    def on_trial(claim, outcome):  # noqa: ANN001 - progress hook
+        status = "ok" if outcome.get("ok") else "error"
+        reclaimed = " (reclaimed)" if outcome.get("reclaimed") else ""
+        print(f"  {claim.trial_id}: {status}{reclaimed}")
+
+    completed = run_worker(
+        store,
+        trainable,
+        runner_id=runner_id,
+        poll_s=args.poll,
+        idle_timeout_s=args.idle_timeout,
+        max_trials=args.max_trials,
+        on_trial=on_trial,
+    )
+    print(f"worker {runner_id} done: {completed} trial(s) completed")
     return 0
 
 
@@ -334,6 +408,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "optimize":
         return _cmd_optimize(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
     if args.command == "calibration":

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -84,31 +86,93 @@ class ExperimentArchive:
         """Persist the finished-trial state for ``--resume``.
 
         The full list is rewritten each time (trial records are small JSON
-        dicts), which keeps the checkpoint atomic at the file level: a resume
-        sees either the previous complete state or the new one. When a live
-        watchdog is armed, its control state (fired alert keys, counts)
-        rides along under ``"watchdog"`` so a resumed campaign does not
-        re-fire alerts the crashed one already raised.
+        dicts) through an atomic temp-file + ``os.replace`` write, so a
+        crash — even a SIGKILL — mid-checkpoint leaves either the previous
+        complete state or the new one on disk, never a truncated JSON.
+        When a live watchdog is armed, its control state (fired alert keys,
+        counts) rides along under ``"watchdog"`` so a resumed campaign does
+        not re-fire alerts the crashed one already raised.
         """
         payload: dict[str, Any] = {"trials": records}
         if watchdog_state is not None:
             payload["watchdog"] = watchdog_state
-        return dump_json(payload, self.root / "checkpoint.json")
+        return dump_json(payload, self.root / "checkpoint.json", atomic=True)
 
-    def load_checkpoint(self) -> list[dict[str, Any]]:
-        """Finished-trial records from the last checkpoint (empty if none)."""
-        path = self.root / "checkpoint.json"
-        if not path.exists():
-            return []
-        data = load_json(path)
-        return list(data.get("trials", []))
+    def _read_checkpoint(self) -> dict[str, Any] | None:
+        """The checkpoint document, or ``None`` when missing or unreadable.
 
-    def load_watchdog_state(self) -> dict[str, Any] | None:
-        """The checkpointed watchdog control state, if any."""
+        A corrupt/truncated ``checkpoint.json`` (written by a pre-atomic
+        version, or mangled by the filesystem) must degrade a resume, not
+        crash it — the caller warns and falls back to the trial ledger.
+        """
         path = self.root / "checkpoint.json"
         if not path.exists():
             return None
-        state = load_json(path).get("watchdog")
+        try:
+            data = load_json(path)
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+            warnings.warn(
+                f"checkpoint {path} is unreadable ({exc}); resuming from the "
+                "trial ledger instead",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        if not isinstance(data, dict):
+            warnings.warn(
+                f"checkpoint {path} holds {type(data).__name__}, expected an "
+                "object; resuming from the trial ledger instead",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        return data
+
+    def load_checkpoint(self) -> list[dict[str, Any]]:
+        """Finished-trial records from the last checkpoint (empty if none).
+
+        When the checkpoint is corrupt, falls back to the per-trial JSONL
+        ledger the runner appends next to the artifacts (one ``to_dict``
+        line per finished trial) — a cold start only when neither exists.
+        """
+        data = self._read_checkpoint()
+        if data is not None:
+            return list(data.get("trials", []))
+        if (self.root / "checkpoint.json").exists():
+            return self._ledgered_trials()
+        return []
+
+    def _ledgered_trials(self) -> list[dict[str, Any]]:
+        """Recover finished-trial records from ``<name>.jsonl`` (best effort).
+
+        Torn lines are skipped; duplicate trial ids keep the latest record.
+        """
+        ledger = self.root / f"{self.manifest.name}.jsonl"
+        if not ledger.exists():
+            return []
+        records: dict[str, dict[str, Any]] = {}
+        for line in ledger.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail line from a crashed writer
+            if isinstance(record, dict) and "trial_id" in record and "config" in record:
+                records[str(record["trial_id"])] = record
+        return list(records.values())
+
+    def load_watchdog_state(self) -> dict[str, Any] | None:
+        """The checkpointed watchdog control state, if any.
+
+        Corrupt checkpoints yield ``None`` (a cold watchdog start) rather
+        than raising — alert dedupe state is not worth failing a resume.
+        """
+        data = self._read_checkpoint()
+        if data is None:
+            return None
+        state = data.get("watchdog")
         return dict(state) if isinstance(state, dict) else None
 
     # -- packing ("E2Clab provides an archive of the generated data") ------------------

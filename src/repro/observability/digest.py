@@ -427,10 +427,12 @@ class PerfRecorder:
         }
 
     def export_json(self, path: str | Path) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
-        return path
+        # Atomic (temp file + os.replace): the perf gate and report CLIs may
+        # read perf_profile.json while a run is still exporting — they must
+        # never observe a half-written document.
+        from repro.utils.serialization import dump_json
+
+        return dump_json(self.to_dict(), path, atomic=True)
 
     def render_prometheus(self) -> str:
         """Prometheus *summary* series for every op."""

@@ -62,21 +62,38 @@ FABRIC_SCHEMA = "repro.fabric/1"
 
 #: this process's worker identity, or ``None`` outside an activated worker.
 _runner_id: Optional[str] = None
+#: pid that performed the activation — a forked child inherits the parent's
+#: module globals, so the id must be re-derived when the pid changed.
+_activated_pid: Optional[int] = None
 
 
 def activate_worker(runner_name: str = "experiment") -> str:
-    """Install worker-local telemetry; idempotent per process.
+    """Install worker-local telemetry; idempotent per (process, runner name).
 
     Called by the process-pool initializer. The worker's identity is
     ``<runner_name>/w<pid>`` and is stamped onto every span merged back
     into the parent.
+
+    Re-activation resets stale state: a pool-worker process reused (or
+    forked) by a *second* pool with a different runner name — or a child
+    that inherited an activated parent's globals across ``fork`` — would
+    otherwise keep the first activation's ``runner_id`` and mis-attribute
+    every span it ships. When the name or pid differs from the recorded
+    activation, fresh telemetry slots are installed (dropping anything the
+    previous identity had buffered) and the id is re-derived.
     """
-    global _runner_id
-    if _runner_id is None:
-        set_tracer(RecordingTracer())
-        set_registry(MetricsRegistry())
-        set_perf(PerfRecorder())
-        _runner_id = f"{runner_name}/w{os.getpid()}"
+    global _runner_id, _activated_pid
+    pid = os.getpid()
+    runner_id = f"{runner_name}/w{pid}"
+    if _runner_id == runner_id and _activated_pid == pid:
+        return _runner_id
+    # First activation, a new identity, or a forked inheritance: telemetry
+    # buffered under the old identity must not leak into the new one.
+    set_tracer(RecordingTracer())
+    set_registry(MetricsRegistry())
+    set_perf(PerfRecorder())
+    _runner_id = runner_id
+    _activated_pid = pid
     return _runner_id
 
 

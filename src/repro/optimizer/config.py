@@ -106,6 +106,12 @@ class OptimizerConf:
     #: block arms the watchdog (and implies span recording for its stream);
     #: pass ``{"enabled": True}`` to arm it with pure defaults.
     watchdog: dict[str, Any] = field(default_factory=dict)
+    #: distributed-execution options for ``executor: "store"`` (see
+    #: ``repro.search.backends.StoreBackend``), e.g. ``{"lease_s": 30,
+    #: "local_workers": 2, "spawn": "cli"}``. ``store_dir`` and ``run_dir``
+    #: default to the campaign's experiment directory; ``spawn: "none"``
+    #: relies entirely on elastic ``python -m repro worker`` joiners.
+    store: dict[str, Any] = field(default_factory=dict)
     #: evaluation memoization (see ``repro.search.evalcache.EvalCache``),
     #: e.g. ``{"enabled": True, "min_replicates": 1}``. Duplicate
     #: configurations proposed by the search are then served from the cache

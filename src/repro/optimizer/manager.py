@@ -65,6 +65,19 @@ class CallableOptimization(Optimization):
         # The cache's JSONL ledger lives with the campaign's other artifacts,
         # so a resumed run re-opens it warm.
         eval_cache = conf.build_eval_cache(path=self.archive.root / "evalcache.jsonl")
+        backend_options = None
+        if conf.executor == "store":
+            backend_options = dict(conf.store)
+            # Manager-level store campaigns default to CLI workers: they
+            # rebuild the evaluator from optimizer_conf.json (written below,
+            # atomically), so the trainable — a bound method holding archive
+            # locks — never needs to cross a process boundary.
+            backend_options.setdefault("spawn", "cli")
+            from repro.utils.serialization import dump_json
+
+            dump_json(
+                conf.to_dict(), self.archive.root / "optimizer_conf.json", atomic=True
+            )
         return self.execute(
             num_samples=conf.num_samples,
             search_alg=search,
@@ -79,6 +92,7 @@ class CallableOptimization(Optimization):
             resume=self._resume,
             checkpoint_every=conf.checkpoint_every,
             eval_cache=eval_cache,
+            backend_options=backend_options,
         )
 
 

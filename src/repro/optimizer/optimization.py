@@ -171,6 +171,7 @@ class Optimization(abc.ABC):
         resume: bool = False,
         checkpoint_every: int = 1,
         eval_cache: EvalCache | None = None,
+        backend_options: dict[str, Any] | None = None,
     ) -> ReproducibilitySummary:
         """Run the optimization cycle and emit the Phase III summary.
 
@@ -179,7 +180,16 @@ class Optimization(abc.ABC):
         evaluation. With ``resume=True`` finished trials from the archive's
         checkpoint are replayed into the searcher (no re-execution) and the
         campaign continues until ``num_samples`` total.
+
+        ``backend_options`` parameterizes the execution backend; for the
+        distributed ``"store"`` executor the trial store and worker run
+        directory default into this campaign's archive, so elastic workers
+        only need the experiment directory to join.
         """
+        if executor == "store":
+            backend_options = dict(backend_options or {})
+            backend_options.setdefault("store_dir", str(self.archive.root / "store"))
+            backend_options.setdefault("run_dir", str(self.archive.root))
         if search_alg is None:
             n_initial = max(1, min(10, num_samples // 2))
             search_alg = SurrogateSearch(
@@ -239,6 +249,7 @@ class Optimization(abc.ABC):
             checkpoint=checkpoint,
             checkpoint_every=checkpoint_every,
             eval_cache=eval_cache,
+            backend_options=backend_options,
             # With tracing on, also drop the one-line-per-trial log next to
             # the other artifacts so the run report can render a trial table.
             log_dir=str(self.archive.root) if tracer.enabled else None,

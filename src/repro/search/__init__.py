@@ -6,7 +6,11 @@ and the AsyncHyperBand trial scheduler (Listing 1). This package provides
 the equivalent pieces:
 
 - :class:`Trial` / :class:`TrialRunner` — trial lifecycle and the
-  asynchronous execution loop (sync, thread- or process-backed).
+  asynchronous execution loop over a pluggable
+  :class:`ExecutionBackend` (sync, thread, process, or the distributed
+  store backend).
+- :class:`TrialStore` / :func:`run_worker` — the shared crash-safe trial
+  ledger and the elastic worker loop behind the ``"store"`` executor.
 - :class:`SurrogateSearch` — a search algorithm wrapping
   :class:`repro.bayesopt.Optimizer` (the analogue of ``SkOptSearch``).
 - :class:`RandomSearch`, :class:`GridSearch` — non-model baselines.
@@ -31,9 +35,25 @@ from repro.search.schedulers import (
     TrialDecision,
     TrialScheduler,
 )
+from repro.search.backends import (
+    ExecutionBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
 from repro.search.runner import ExperimentAnalysis, TrialRunner, run
+from repro.search.store import TrialClaim, TrialStore
+from repro.search.worker import run_worker, worker_trainable_from_run_dir
 
 __all__ = [
+    "ExecutionBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "TrialStore",
+    "TrialClaim",
+    "run_worker",
+    "worker_trainable_from_run_dir",
     "Trial",
     "TrialStatus",
     "Reporter",

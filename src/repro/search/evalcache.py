@@ -29,6 +29,7 @@ provenance data.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from pathlib import Path
@@ -50,18 +51,23 @@ class EvalCache:
         path: str | Path | None = None,
         fingerprint: Any = None,
         min_replicates: int = 1,
+        fsync: bool = False,
     ) -> None:
         if int(min_replicates) < 1:
             raise ValidationError("min_replicates must be >= 1")
         self.min_replicates = int(min_replicates)
         self.fingerprint = canonical_config(fingerprint) if fingerprint is not None else None
         self.path = Path(path) if path is not None else None
+        #: fsync every ledger append — cheap insurance when several hosts
+        #: share the cache file over a network filesystem.
+        self.fsync = bool(fsync)
         self._entries: dict[str, list[dict[str, float]]] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.rejected = 0
+        self.corrupt = 0
         if self.path is not None and self.path.exists():
             self._load()
 
@@ -130,9 +136,28 @@ class EvalCache:
                     {"key": key, "config": canonical_config(config), "result": payload},
                     sort_keys=True,
                 )
-                with self.path.open("a") as handle:
-                    handle.write(line + "\n")
+                self._append_line(line)
         return True
+
+    def _append_line(self, line: str) -> None:
+        """One record = one ``write()`` on an ``O_APPEND`` descriptor.
+
+        ``O_APPEND`` makes the kernel pick the offset atomically per write,
+        so concurrent runners sharing one cache file (the distributed store
+        backend's workers, or two campaigns over a shared cache) can never
+        interleave bytes or tear each other's lines — the failure mode of
+        buffered ``open("a")`` appends, where one logical record may flush
+        as several writes.
+        """
+        assert self.path is not None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, (line + "\n").encode("utf-8"))
+            if self.fsync:
+                os.fsync(fd)
+        finally:
+            os.close(fd)
 
     # -- persistence ------------------------------------------------------------------
 
@@ -145,9 +170,18 @@ class EvalCache:
             try:
                 record = json.loads(line)
                 key = record["key"]
+                config = record["config"]
                 result = {str(k): float(v) for k, v in record["result"].items()}
             except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-                continue  # a torn tail line from a crashed run is not fatal
+                # A torn tail line from a crashed run is not fatal.
+                self.corrupt += 1
+                continue
+            if self.key(config) != key:
+                # The config no longer re-hashes to the stored key: a
+                # corrupted record, or an entry written under a different
+                # scenario fingerprint — either way it must not be served.
+                self.corrupt += 1
+                continue
             self._entries.setdefault(key, []).append(result)
 
     # -- reporting --------------------------------------------------------------------
@@ -168,6 +202,7 @@ class EvalCache:
                 "misses": self.misses,
                 "stores": self.stores,
                 "rejected": self.rejected,
+                "corrupt": self.corrupt,
                 "entries": len(self._entries),
             }
 

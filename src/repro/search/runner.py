@@ -1,9 +1,10 @@
 """The trial runner: asynchronous parallel execution of trials.
 
 ``run()`` is the facade equivalent to the paper's ``tune.run`` (Listing 1
-line 14): it drives a search algorithm, executes trials (inline, in
-threads, or in separate processes), consults the trial scheduler on
-intermediate results, and returns an :class:`ExperimentAnalysis`.
+line 14): it drives a search algorithm, executes trials through a
+pluggable :class:`~repro.search.backends.ExecutionBackend`, consults the
+trial scheduler on intermediate results, and returns an
+:class:`ExperimentAnalysis`.
 
 Executor notes
 --------------
@@ -16,13 +17,23 @@ Executor notes
   engine DES). The trainable must be picklable (a top-level function);
   intermediate reporting/schedulers are unsupported across the process
   boundary, so the scheduler must be FIFO.
+- ``"store"`` — distributed execution through a shared file-backed
+  :class:`~repro.search.store.TrialStore`: trials are persisted to a
+  crash-safe ledger and claimed under lease+heartbeat by elastic workers
+  (local children and/or ``python -m repro worker <run-dir>`` joiners).
+  Configure with ``backend_options={"store_dir": ...}``.
+
+The runner's main loop is backend-agnostic — suggest, submit, wait, fold —
+and every backend reports through the same observability spine (trial
+spans, queue-wait/evaluate costs, fabric telemetry merge), so analyses are
+comparable across executors.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -35,183 +46,25 @@ from repro.observability.metrics import get_registry
 from repro.observability.profile import CostBreakdown, aggregate_costs
 from repro.observability.trace import Tracer, get_tracer
 from repro.search.algos import SearchAlgorithm, SurrogateSearch
+from repro.search.backends import backend_class, create_backend
 from repro.search.evalcache import EvalCache
+
+# Worker-side primitives live in repro.search.execution; the historic
+# underscore names stay importable from here for callers and tests.
+from repro.search.execution import (
+    Trainable,
+    attempt_once as _attempt_once,  # noqa: F401 - re-export
+    normalize_result as _normalize_result,
+    pool_init as _pool_init,  # noqa: F401 - re-export
+    process_attempts as _process_attempts,  # noqa: F401 - re-export
+    process_entry as _process_entry,  # noqa: F401 - re-export
+)
 from repro.search.schedulers import FIFOScheduler, TrialDecision, TrialScheduler
 from repro.search.trial import Reporter, StopTrial, Trial, TrialStatus
 
 __all__ = ["TrialRunner", "ExperimentAnalysis", "run"]
 
-Trainable = Callable[..., Any]
-
 Checkpointer = Callable[[list[dict[str, Any]]], Any]
-
-
-def _normalize_result(raw: Any, metric: str) -> dict[str, float]:
-    """Coerce a trainable's return value into a float metrics dict.
-
-    The target metric is strict (a non-numeric value is a trial error);
-    auxiliary entries that do not convert to float (e.g. a ``"deployment"``
-    tag string) are silently dropped rather than failing the whole trial.
-    """
-    if isinstance(raw, dict):
-        if metric not in raw:
-            raise TrialError(f"trainable result lacks metric {metric!r}: {sorted(raw)}")
-        out: dict[str, float] = {metric: float(raw[metric])}
-        for key, value in raw.items():
-            if key == metric:
-                continue
-            try:
-                out[key] = float(value)
-            except (TypeError, ValueError):
-                continue
-        return out
-    return {metric: float(raw)}
-
-
-def _attempt_once(
-    trainable: Trainable, config: dict[str, Any], timeout_s: float | None
-) -> tuple[str, Any, bool]:
-    """One attempt in a worker process.
-
-    Returns ``(status, payload, injected)`` where status is ``"ok"`` /
-    ``"error"`` / ``"timeout"`` and ``injected`` records whether a fault
-    was injected into the attempt (read on the thread that ran it, since
-    the marker is thread-local).
-    """
-    if timeout_s is None:
-        reset_injection_flag()
-        try:
-            raw = trainable(config)
-            return ("ok", raw, injection_occurred())
-        except Exception as exc:  # noqa: BLE001 - reported to the parent
-            return ("error", f"{type(exc).__name__}: {exc}", injection_occurred())
-        except BaseException as exc:  # SystemExit & friends: still one trial's error
-            if isinstance(exc, KeyboardInterrupt):
-                raise
-            return ("error", f"{type(exc).__name__}: {exc}", injection_occurred())
-    box: list[tuple[str, Any, bool]] = []
-
-    def _worker() -> None:
-        try:
-            box.append(_attempt_once(trainable, config, None))
-        except BaseException as exc:  # noqa: BLE001 - keep the box non-empty
-            box.append(("error", f"{type(exc).__name__}: {exc}", True))
-
-    worker = threading.Thread(target=_worker, daemon=True)
-    worker.start()
-    worker.join(timeout_s)
-    if worker.is_alive():
-        return ("timeout", f"TrialTimeout: exceeded {timeout_s}s", True)
-    if not box:
-        return ("error", "trial worker exited without reporting a result", True)
-    return box[0]
-
-
-#: per-worker registration installed by :func:`_pool_init` — the trainable
-#: is pickled once per worker process instead of once per submitted trial.
-_WORKER_TRAINABLE: Optional[Trainable] = None
-
-
-def _pool_init(
-    trainable: Trainable, telemetry: bool = False, runner_name: str = "experiment"
-) -> None:
-    """Process-pool initializer: register the trainable once per worker.
-
-    With ``telemetry`` the worker also joins the cross-process fabric —
-    a worker-local tracer/registry/perf recorder captures everything the
-    trainable's instrumentation records, shipped back per trial.
-    """
-    global _WORKER_TRAINABLE
-    _WORKER_TRAINABLE = trainable
-    if telemetry:
-        fabric.activate_worker(runner_name)
-
-
-def _process_attempts(
-    trainable: Trainable,
-    config: dict[str, Any],
-    max_retries: int,
-    backoff_s: float,
-    timeout_s: float | None,
-) -> dict[str, Any]:
-    """The worker-side retry/timeout loop shared by all process entries."""
-    retries = 0
-    timeouts = 0
-    payload: Any = None
-    injected = False
-    for attempt in range(int(max_retries) + 1):
-        set_current_attempt(attempt)
-        status, payload, injected = _attempt_once(trainable, config, timeout_s)
-        if status == "ok":
-            return {
-                "ok": True,
-                "raw": payload,
-                "retries": retries,
-                "timeouts": timeouts,
-                "tainted": bool(injected or retries or timeouts),
-            }
-        if status == "timeout":
-            timeouts += 1
-        if attempt < max_retries:
-            retries += 1
-            if backoff_s > 0:
-                time.sleep(backoff_s * (2**attempt))
-    return {
-        "ok": False,
-        "error": payload,
-        "retries": retries,
-        "timeouts": timeouts,
-        "tainted": True,
-    }
-
-
-def _process_entry(
-    trainable: Optional[Trainable],
-    config: dict[str, Any],
-    max_retries: int = 0,
-    backoff_s: float = 0.0,
-    timeout_s: float | None = None,
-    trial_id: str | None = None,
-    submitted_unix: float | None = None,
-) -> dict[str, Any]:
-    """Top-level entry for process executors (picklable).
-
-    ``trainable=None`` uses the per-worker registration from
-    :func:`_pool_init`, so each submission ships only the compact trial
-    spec (config + retry knobs), not a re-pickled trainable/conf object.
-    The retry/timeout loop runs *inside* the worker so the parent's drain
-    loop stays a plain future wait. Never raises for trainable failures —
-    the structured payload carries the outcome plus retry/timeout counts
-    and a ``tainted`` marker (fault injected or timed out on the final
-    attempt) the evaluation cache uses to refuse admission.
-
-    In a fabric-activated worker the payload additionally carries
-    worker-measured ``queue_wait_s``/``evaluate_s`` and a ``telemetry``
-    blob (spans, metrics, latency digests) for the parent to merge.
-    """
-    if trainable is None:
-        trainable = _WORKER_TRAINABLE
-        if trainable is None:  # pragma: no cover - defensive
-            return {"ok": False, "error": "no trainable registered in worker", "retries": 0, "timeouts": 0, "tainted": True}
-    if not fabric.worker_active():
-        return _process_attempts(trainable, config, max_retries, backoff_s, timeout_s)
-    perf = get_perf()
-    queue_wait = 0.0
-    if submitted_unix is not None:
-        # Submit→pickup across the process boundary: only wall clocks are
-        # shared, so the parent stamps a unix timestamp at submit time.
-        queue_wait = max(0.0, time.time() - float(submitted_unix))
-        perf.record("queue_wait", queue_wait)
-    tracer = get_tracer()
-    start = time.perf_counter()
-    with tracer.span("evaluate", trial_id=trial_id):
-        result = _process_attempts(trainable, config, max_retries, backoff_s, timeout_s)
-    evaluate_s = time.perf_counter() - start
-    perf.record("evaluate", evaluate_s)
-    result["queue_wait_s"] = queue_wait
-    result["evaluate_s"] = evaluate_s
-    result["telemetry"] = fabric.drain_worker()
-    return result
 
 
 @dataclass
@@ -302,13 +155,13 @@ class TrialRunner:
         checkpoint: Checkpointer | None = None,
         checkpoint_every: int = 1,
         eval_cache: "EvalCache | None" = None,
+        backend_options: dict[str, Any] | None = None,
     ) -> None:
         if mode not in ("min", "max"):
             raise ValidationError("mode must be 'min' or 'max'")
         if num_samples < 1:
             raise ValidationError("num_samples must be >= 1")
-        if executor not in ("sync", "thread", "process"):
-            raise ValidationError(f"unknown executor {executor!r}")
+        backend_cls = backend_class(executor)  # raises for unknown executors
         if max_retries < 0:
             raise ValidationError("max_retries must be >= 0")
         if retry_backoff_s < 0:
@@ -322,9 +175,11 @@ class TrialRunner:
         self.metric = metric
         self.mode = mode
         self.scheduler = scheduler or FIFOScheduler(mode)
-        if executor == "process" and not isinstance(self.scheduler, FIFOScheduler):
+        if not backend_cls.supports_mid_trial_scheduling and not isinstance(
+            self.scheduler, FIFOScheduler
+        ):
             raise ValidationError(
-                "process executor cannot consult a scheduler mid-trial; use FIFO"
+                f"{executor} executor cannot consult a scheduler mid-trial; use FIFO"
             )
         self.num_samples = int(num_samples)
         self.executor_kind = executor
@@ -334,6 +189,7 @@ class TrialRunner:
         self.max_retries = int(max_retries)
         self.retry_backoff_s = float(retry_backoff_s)
         self.trial_timeout_s = None if trial_timeout_s is None else float(trial_timeout_s)
+        self.backend_options = dict(backend_options or {})
         self._tracer = tracer if tracer is not None else get_tracer()
         #: open per-trial spans, for cross-thread parenting (trial_id → Span).
         self._trial_spans: dict[str, Any] = {}
@@ -358,6 +214,10 @@ class TrialRunner:
             directory.mkdir(parents=True, exist_ok=True)
             self._log_path = directory / f"{name}.jsonl"
             self._log_path.write_text("")  # truncate previous runs
+
+    def _observing(self) -> bool:
+        """Whether any telemetry consumer is active (workers should join)."""
+        return bool(self._tracer.enabled or get_registry().enabled or get_perf().enabled)
 
     # -- observability hooks ---------------------------------------------------------
 
@@ -698,7 +558,10 @@ class TrialRunner:
         Completed trials are ``tell``-ed into the search algorithm so the
         surrogate resumes with its full observation history; errored trials
         surrender through ``on_trial_error``. Every resumed trial counts
-        against the ``num_samples`` budget.
+        against the ``num_samples`` budget, and every resumed trial is
+        re-logged into the fresh trial log so ``<name>.jsonl`` stays a
+        complete ledger across resume generations — the archive falls back
+        to it when ``checkpoint.json`` is lost to a crash.
         """
         for trial in self._resume_trials:
             trials.append(trial)
@@ -711,6 +574,7 @@ class TrialRunner:
                 self.search_alg.on_trial_complete(trial.trial_id, trial.config, value)
             elif trial.status is TrialStatus.ERROR:
                 self.search_alg.on_trial_error(trial.trial_id, trial.config)
+            self._log_trial(trial)
         return len(self._resume_trials)
 
     # -- main loop --------------------------------------------------------------------
@@ -719,135 +583,90 @@ class TrialRunner:
         start = time.perf_counter()
         trials: list[Trial] = []
         created = self._replay_resumed(trials)
-        if self.executor_kind == "sync":
-            try:
-                while created < self.num_samples:
-                    trial_id = f"{self.name}_{created:05d}"
-                    config, suggest_s = self._suggest(trial_id)
-                    if config is None:
-                        break  # exhausted (grid) — with sync there is nothing pending
-                    trial = Trial(trial_id=trial_id, config=config)
-                    self._open_trial(trial, suggest_s)
-                    trials.append(trial)
-                    created += 1
-                    if not self._cache_lookup(trial):
-                        self._execute_with_retry(trial)
-                        self._cache_store(trial)
-                    self._after_trial(trial)
-            except TrialError as exc:
-                exc.analysis = self._analysis(trials, start)
-                raise
-            self._flush_checkpoint()
-            return self._analysis(trials, start)
-
-        if self.executor_kind == "thread":
-            pool_cm = ThreadPoolExecutor(max_workers=self.max_workers)
-        else:
-            # The initializer registers the trainable once per worker, so
-            # each submission ships only a compact per-trial spec. Workers
-            # join the telemetry fabric whenever the parent is observing.
-            telemetry = bool(
-                self._tracer.enabled or get_registry().enabled or get_perf().enabled
-            )
-            pool_cm = ProcessPoolExecutor(
-                max_workers=self.max_workers,
-                initializer=_pool_init,
-                initargs=(self.trainable, telemetry, self.name),
-            )
-        with pool_cm as pool:
-            futures: dict[Future, Trial] = {}
+        backend = create_backend(self.executor_kind, self)
+        backend.start()
+        futures: dict[Future, Trial] = {}
+        cancel = False
+        try:
             exhausted = False
-            try:
-                while True:
-                    # Fill every free executor slot from one batched suggest
-                    # (a single surrogate fit for model-based searchers).
-                    while not exhausted and created < self.num_samples:
-                        want = min(self.num_samples - created, self.max_workers - len(futures))
-                        if want <= 0:
-                            break
-                        ids = [f"{self.name}_{created + k:05d}" for k in range(want)]
-                        if want == 1:
-                            config, suggest_s = self._suggest(ids[0])
-                            configs = [] if config is None else [config]
-                        else:
-                            configs, suggest_s = self._suggest_batch(ids)
-                        if not configs:
-                            if not futures:
-                                exhausted = True  # nothing pending → truly done
-                            break
-                        for config in configs:
-                            trial = Trial(trial_id=f"{self.name}_{created:05d}", config=config)
-                            self._open_trial(trial, suggest_s)
-                            trials.append(trial)
-                            created += 1
-                            if self._cache_lookup(trial):
-                                # Completed without occupying an executor
-                                # slot; tell the searcher right away.
-                                self._after_trial(trial)
-                            else:
-                                futures[self._submit(pool, trial)] = trial
-                        if len(configs) < len(ids):
-                            break  # limited/exhausted for now: drain first
-
-                    if not futures:
-                        if exhausted or created >= self.num_samples:
-                            break
-                        # Every config of a partial batch was served from
-                        # the cache: nothing to drain, go refill.
-                        continue
-                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        trial = futures.pop(future)
-                        self._collect(future, trial)
-                        self._cache_store(trial)
-                        self._after_trial(trial)
-                    if created >= self.num_samples and not futures:
+            while True:
+                # Fill every free backend slot from one batched suggest
+                # (a single surrogate fit for model-based searchers).
+                while not exhausted and created < self.num_samples:
+                    want = min(self.num_samples - created, backend.capacity - len(futures))
+                    if want <= 0:
                         break
-            except TrialError as exc:
-                # Abort cleanly mid-drain: cancel everything still queued so
-                # the pool context exit does not execute abandoned work, and
-                # hand the partial analysis to the caller on the error.
-                for future in futures:
-                    future.cancel()
-                pool.shutdown(wait=True, cancel_futures=True)
-                exc.analysis = self._analysis(trials, start)
-                raise
+                    ids = [f"{self.name}_{created + k:05d}" for k in range(want)]
+                    if want == 1:
+                        config, suggest_s = self._suggest(ids[0])
+                        configs = [] if config is None else [config]
+                    else:
+                        configs, suggest_s = self._suggest_batch(ids)
+                    if not configs:
+                        if not futures:
+                            exhausted = True  # nothing pending → truly done
+                        break
+                    for config in configs:
+                        trial = Trial(trial_id=f"{self.name}_{created:05d}", config=config)
+                        self._open_trial(trial, suggest_s)
+                        trials.append(trial)
+                        created += 1
+                        if self._cache_lookup(trial):
+                            # Completed without occupying an executor
+                            # slot; tell the searcher right away.
+                            self._after_trial(trial)
+                        else:
+                            futures[backend.submit(trial)] = trial
+                    if len(configs) < len(ids):
+                        break  # limited/exhausted for now: drain first
+
+                if not futures:
+                    if exhausted or created >= self.num_samples:
+                        break
+                    # Every config of a partial batch was served from
+                    # the cache: nothing to drain, go refill.
+                    continue
+                done = backend.wait_any(set(futures))
+                for future in done:
+                    trial = futures.pop(future)
+                    backend.collect(future, trial)
+                    self._cache_store(trial)
+                    self._after_trial(trial)
+                if created >= self.num_samples and not futures:
+                    break
+        except TrialError as exc:
+            # Abort cleanly mid-drain: cancel everything still queued so
+            # shutdown does not execute abandoned work, and hand the
+            # partial analysis to the caller on the error.
+            cancel = True
+            for future in futures:
+                future.cancel()
+            exc.analysis = self._analysis(trials, start)
+            raise
+        except BaseException:
+            cancel = True
+            raise
+        finally:
+            backend.shutdown(cancel=cancel)
         self._flush_checkpoint()
         return self._analysis(trials, start)
-
-    def _submit(self, pool: Any, trial: Trial) -> Future:
-        trial.status = TrialStatus.RUNNING
-        trial._submitted = time.perf_counter()
-        if self.executor_kind == "process":
-            trial._start = time.perf_counter()
-            # trainable=None: the worker uses its _pool_init registration.
-            return pool.submit(
-                _process_entry,
-                None,
-                dict(trial.config),
-                self.max_retries,
-                self.retry_backoff_s,
-                self.trial_timeout_s,
-                trial.trial_id,
-                time.time(),  # wall clock: the only timeline workers share
-            )
-        return pool.submit(self._run_threaded, trial)
 
     def _run_threaded(self, trial: Trial) -> None:
         self._record_queue_wait(trial)
         self._execute_with_retry(trial)
 
-    def _collect(self, future: Future, trial: Trial) -> None:
-        if self.executor_kind != "process":
-            future.result()  # propagate unexpected harness errors only
-            return
-        payload: Any = None
-        try:
-            payload = future.result()
-        except Exception as exc:  # noqa: BLE001 - harness-level failure (pickling, pool death)
-            trial.error = f"{type(exc).__name__}: {exc}"
-            trial.status = TrialStatus.ERROR
-        else:
+    def _fold_worker_payload(self, trial: Trial, payload: Any) -> None:
+        """Fold a worker's structured outcome payload into ``trial``.
+
+        The payload is the shared wire format documented in
+        :mod:`repro.search.execution` — produced identically by process-pool
+        workers and store-backed distributed workers, so both backends share
+        this one folding path (status, retry/timeout/taint markers, the
+        parent-clamped cost split, and the fabric telemetry merge).
+        ``payload=None`` means a harness-level failure already recorded on
+        the trial by the backend; only the wall-clock accounting runs.
+        """
+        if isinstance(payload, dict):
             retries = int(payload.get("retries", 0))
             timeouts = int(payload.get("timeouts", 0))
             if retries:
@@ -856,6 +675,11 @@ class TrialRunner:
                 trial.cost["timeouts"] = float(timeouts)
             if payload.get("tainted"):
                 trial.cost["fault_injected"] = 1.0
+            if payload.get("reclaimed"):
+                # The trial was reclaimed from a dead worker's expired lease;
+                # the count is provenance (and the taint marker above keeps
+                # the measurement out of the evaluation cache).
+                trial.cost["reclaimed"] = float(payload["reclaimed"])
             self._count_fault_metrics(retries, timeouts)
             if payload.get("ok"):
                 try:
@@ -900,7 +724,7 @@ class TrialRunner:
     def _record_process_wait_span(
         self, trial: Trial, wall_s: float, queue_wait_s: float
     ) -> None:
-        """Backdated queue-wait span for the process executor.
+        """Backdated queue-wait span for worker-measured queue waits.
 
         The wait happened at the *start* of the submit→collect wall, so the
         span is stamped ``[now - wall, now - wall + wait]`` via the explicit
@@ -943,6 +767,7 @@ def run(
     log_dir: str | None = None,
     batch_size: int = 1,
     refit_every: int = 1,
+    backend_options: dict[str, Any] | None = None,
 ) -> ExperimentAnalysis:
     """``tune.run``-style entry point.
 
@@ -952,6 +777,8 @@ def run(
     and ``refit_every`` tune the default searcher's suggest hot path:
     batched asks amortize one surrogate fit over several suggestions, and
     refits are throttled to every ``refit_every`` fresh observations.
+    ``backend_options`` parameterizes the execution backend (e.g. the
+    ``"store"`` executor's ``store_dir``).
     """
     if search_alg is None:
         if space is None:
@@ -978,5 +805,6 @@ def run(
         max_workers=max_workers,
         name=name,
         log_dir=log_dir,
+        backend_options=backend_options,
     )
     return runner.run()

@@ -1,0 +1,381 @@
+"""A shared, crash-safe, file-backed trial store for distributed campaigns.
+
+The store is the durable hand-off point between one campaign parent (the
+:class:`~repro.search.runner.TrialRunner` with the ``"store"`` backend) and
+any number of workers — local processes spawned by the backend, or elastic
+``python -m repro worker <run-dir>`` processes joining and leaving
+mid-campaign, possibly on other hosts sharing the filesystem.
+
+Design (modeled on powerlift's DB-backed ``run_trials`` worker loop, made
+file-native so a campaign needs nothing but its run directory):
+
+- ``store.json`` — immutable campaign metadata (metric, retry knobs,
+  lease duration, telemetry flag), written atomically once.
+- ``ledger.jsonl`` — an **append-only event log**. Every event is one JSON
+  line emitted as a single ``write()`` on an ``O_APPEND`` descriptor, so
+  concurrent writers never interleave bytes and a crash can at worst leave
+  one torn *tail* line (skipped on replay, never corrupting prior events).
+  Current state is materialized by replaying events in order.
+- ``.lock`` — an ``flock``-guarded critical section around claim-type
+  transitions (``pick_trial`` reads state *and* appends the claim under
+  the lock), so two workers can never claim the same trial.
+
+Event types::
+
+    {"type": "trial",     "trial_id", "config", "t"}            # enqueued
+    {"type": "claim",     "trial_id", "runner_id", "lease_until", "t"}
+    {"type": "heartbeat", "trial_id", "runner_id", "lease_until", "t"}
+    {"type": "release",   "trial_id", "runner_id", "reason", "t"}
+    {"type": "done",      "trial_id", "runner_id", "outcome", "t"}
+    {"type": "close",     "t"}                                  # campaign over
+
+Lifecycle rules enforced by replay: a trial is *queued* until claimed;
+a claim is live until its ``lease_until`` passes, the claimer releases it,
+or a ``done`` lands; an expired lease makes the trial claimable again
+(lease+heartbeat reclamation of orphaned trials — a SIGKILLed worker stops
+heartbeating and its trial is re-queued); the **first** ``done`` event per
+trial wins, so a reclaimed trial whose original worker was merely slow
+still completes exactly once from the parent's point of view.
+"""
+
+from __future__ import annotations
+
+import fcntl
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Optional
+
+from contextlib import contextmanager
+
+from repro.errors import ValidationError
+from repro.utils.serialization import dump_json, load_json, to_jsonable
+
+__all__ = ["TrialStore", "StoreState", "TrialClaim", "DEFAULT_LEASE_S"]
+
+LEDGER_FILE = "ledger.jsonl"
+META_FILE = "store.json"
+LOCK_FILE = ".lock"
+
+#: default worker lease duration; heartbeats renew at a third of this.
+DEFAULT_LEASE_S = 30.0
+
+
+@dataclass
+class TrialClaim:
+    """One successful ``pick_trial``: the work handed to a worker."""
+
+    trial_id: str
+    config: dict[str, Any]
+    runner_id: str
+    lease_until: float
+    #: how many times this trial had been claimed before (0 = first run).
+    prior_claims: int = 0
+
+
+@dataclass
+class _TrialState:
+    config: dict[str, Any]
+    status: str = "queued"  # queued | claimed | done
+    runner_id: Optional[str] = None
+    lease_until: float = 0.0
+    outcome: Optional[dict[str, Any]] = None
+    claims: int = 0
+    completed_by: Optional[str] = None
+
+
+@dataclass
+class StoreState:
+    """Materialized view of the ledger at one point in time."""
+
+    trials: dict[str, _TrialState] = field(default_factory=dict)
+    order: list[str] = field(default_factory=list)
+    closed: bool = False
+    #: duplicate ``done`` events ignored (first-completion-wins accounting).
+    duplicate_done: int = 0
+    #: ledger lines that failed to parse (torn tail from a crashed writer).
+    torn_lines: int = 0
+
+    def counts(self) -> dict[str, int]:
+        out = {"queued": 0, "claimed": 0, "done": 0}
+        for state in self.trials.values():
+            out[state.status] += 1
+        return out
+
+    def unfinished(self) -> list[str]:
+        return [tid for tid in self.order if self.trials[tid].status != "done"]
+
+    def live_leases(self, now: float | None = None) -> list[str]:
+        now = time.time() if now is None else now
+        return [
+            tid
+            for tid in self.order
+            if self.trials[tid].status == "claimed" and self.trials[tid].lease_until > now
+        ]
+
+
+class TrialStore:
+    """File-backed distributed trial ledger (see module docstring)."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        if not (self.root / META_FILE).exists():
+            raise ValidationError(
+                f"no trial store under {self.root} — create one with TrialStore.create()"
+            )
+        self.meta: dict[str, Any] = load_json(self.root / META_FILE)
+        self._ledger = self.root / LEDGER_FILE
+        self._lockpath = self.root / LOCK_FILE
+
+    # -- construction -----------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        root: str | Path,
+        *,
+        name: str = "experiment",
+        metric: str = "objective",
+        max_retries: int = 0,
+        retry_backoff_s: float = 0.0,
+        trial_timeout_s: float | None = None,
+        lease_s: float = DEFAULT_LEASE_S,
+        telemetry: bool = False,
+        fresh: bool = False,
+    ) -> "TrialStore":
+        """Create (or re-open) the store directory for one campaign.
+
+        ``fresh=True`` truncates an existing ledger; the default keeps it,
+        so a resumed campaign re-opens its store with prior events intact.
+        """
+        if lease_s <= 0:
+            raise ValidationError("lease_s must be > 0")
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "schema": "repro.store/1",
+            "name": name,
+            "metric": metric,
+            "max_retries": int(max_retries),
+            "retry_backoff_s": float(retry_backoff_s),
+            "trial_timeout_s": trial_timeout_s,
+            "lease_s": float(lease_s),
+            "telemetry": bool(telemetry),
+        }
+        dump_json(meta, root / META_FILE, atomic=True)
+        ledger = root / LEDGER_FILE
+        if fresh and ledger.exists():
+            ledger.unlink()
+        ledger.touch(exist_ok=True)
+        (root / LOCK_FILE).touch(exist_ok=True)
+        return cls(root)
+
+    @classmethod
+    def open(cls, root: str | Path) -> "TrialStore":
+        """Open an existing store (worker side)."""
+        return cls(root)
+
+    # -- the ledger -------------------------------------------------------------------
+
+    def _append(self, record: Mapping[str, Any]) -> None:
+        """Append one event as a single ``O_APPEND`` write (crash-safe)."""
+        line = json.dumps(to_jsonable(record), sort_keys=True) + "\n"
+        fd = os.open(self._ledger, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Exclusive inter-process critical section (``flock``)."""
+        fd = os.open(self._lockpath, os.O_WRONLY | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    def events(self) -> Iterator[dict[str, Any]]:
+        """Parsed ledger events in append order (torn lines skipped)."""
+        if not self._ledger.exists():
+            return
+        with self._ledger.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail line from a crashed writer
+                if isinstance(event, dict) and "type" in event:
+                    yield event
+
+    def snapshot(self) -> StoreState:
+        """Replay the ledger into the current campaign state."""
+        state = StoreState()
+        raw_lines = 0
+        parsed = 0
+        if self._ledger.exists():
+            raw_lines = sum(
+                1 for line in self._ledger.read_text(encoding="utf-8").splitlines() if line.strip()
+            )
+        for event in self.events():
+            parsed += 1
+            kind = event["type"]
+            tid = event.get("trial_id")
+            if kind == "trial":
+                if tid not in state.trials:
+                    state.trials[tid] = _TrialState(config=dict(event.get("config", {})))
+                    state.order.append(tid)
+                continue
+            if kind == "close":
+                state.closed = True
+                continue
+            trial = state.trials.get(tid)
+            if trial is None:
+                continue  # claim/done for an unknown trial: ignore
+            if kind == "claim":
+                if trial.status != "done":
+                    trial.status = "claimed"
+                    trial.runner_id = event.get("runner_id")
+                    trial.lease_until = float(event.get("lease_until", 0.0))
+                    trial.claims += 1
+            elif kind == "heartbeat":
+                if trial.status == "claimed" and trial.runner_id == event.get("runner_id"):
+                    trial.lease_until = max(
+                        trial.lease_until, float(event.get("lease_until", 0.0))
+                    )
+            elif kind == "release":
+                if trial.status == "claimed" and trial.runner_id == event.get("runner_id"):
+                    trial.status = "queued"
+                    trial.runner_id = None
+                    trial.lease_until = 0.0
+            elif kind == "done":
+                if trial.status == "done":
+                    state.duplicate_done += 1  # first completion wins
+                else:
+                    trial.status = "done"
+                    trial.outcome = event.get("outcome")
+                    trial.completed_by = event.get("runner_id")
+        state.torn_lines = max(0, raw_lines - parsed)
+        return state
+
+    # -- producer API (the campaign parent) ---------------------------------------------
+
+    def add_trial(self, trial_id: str, config: Mapping[str, Any]) -> None:
+        """Enqueue one trial; re-adding a known id is a no-op on replay."""
+        self._append(
+            {"type": "trial", "trial_id": str(trial_id), "config": dict(config), "t": time.time()}
+        )
+
+    def close(self) -> None:
+        """Mark the campaign over; idle workers observe this and exit."""
+        self._append({"type": "close", "t": time.time()})
+
+    # -- worker API ---------------------------------------------------------------------
+
+    def pick_trial(
+        self, runner_id: str, *, lease_s: float | None = None
+    ) -> Optional[TrialClaim]:
+        """Atomically claim the next runnable trial, or ``None``.
+
+        Under the store lock: the oldest *queued* trial is claimed; failing
+        that, the oldest *claimed* trial whose lease has expired is
+        reclaimed (released, then claimed by this runner) — that is how a
+        SIGKILLed worker's trial finds a new home.
+        """
+        lease_s = float(self.meta.get("lease_s", DEFAULT_LEASE_S) if lease_s is None else lease_s)
+        now = time.time()
+        with self._locked():
+            state = self.snapshot()
+            if state.closed:
+                # A closed campaign hands out no work — queued leftovers
+                # belong to an aborted parent and must not be executed.
+                return None
+            chosen: Optional[str] = None
+            prior = 0
+            for tid in state.order:
+                if state.trials[tid].status == "queued":
+                    chosen = tid
+                    prior = state.trials[tid].claims
+                    break
+            if chosen is None:
+                for tid in state.order:
+                    trial = state.trials[tid]
+                    if trial.status == "claimed" and trial.lease_until <= now:
+                        self._append(
+                            {
+                                "type": "release",
+                                "trial_id": tid,
+                                "runner_id": trial.runner_id,
+                                "reason": "lease-expired",
+                                "t": now,
+                            }
+                        )
+                        chosen = tid
+                        prior = trial.claims
+                        break
+            if chosen is None:
+                return None
+            lease_until = now + lease_s
+            self._append(
+                {
+                    "type": "claim",
+                    "trial_id": chosen,
+                    "runner_id": runner_id,
+                    "lease_until": lease_until,
+                    "t": now,
+                }
+            )
+            return TrialClaim(
+                trial_id=chosen,
+                config=dict(state.trials[chosen].config),
+                runner_id=runner_id,
+                lease_until=lease_until,
+                prior_claims=prior,
+            )
+
+    def heartbeat(self, trial_id: str, runner_id: str, *, lease_s: float | None = None) -> None:
+        """Extend this runner's lease on a trial it is still executing."""
+        lease_s = float(self.meta.get("lease_s", DEFAULT_LEASE_S) if lease_s is None else lease_s)
+        self._append(
+            {
+                "type": "heartbeat",
+                "trial_id": str(trial_id),
+                "runner_id": runner_id,
+                "lease_until": time.time() + lease_s,
+                "t": time.time(),
+            }
+        )
+
+    def end_trial(self, trial_id: str, runner_id: str, outcome: Mapping[str, Any]) -> None:
+        """Record a finished trial's outcome payload (first event wins)."""
+        self._append(
+            {
+                "type": "done",
+                "trial_id": str(trial_id),
+                "runner_id": runner_id,
+                "outcome": dict(outcome),
+                "t": time.time(),
+            }
+        )
+
+    # -- convenience ----------------------------------------------------------------------
+
+    def done_records(self) -> dict[str, dict[str, Any]]:
+        """trial_id → winning outcome payload, for resume/recovery readers."""
+        state = self.snapshot()
+        return {
+            tid: dict(trial.outcome)
+            for tid, trial in state.trials.items()
+            if trial.status == "done" and isinstance(trial.outcome, dict)
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        counts = self.snapshot().counts()
+        return f"TrialStore({self.root}, {counts})"

@@ -8,9 +8,12 @@ without this library.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any
 
@@ -93,11 +96,35 @@ def config_hash(obj: Any, *extra: Any) -> str:
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
 
-def dump_json(obj: Any, path: str | Path, *, indent: int = 2) -> Path:
-    """Serialize ``obj`` to ``path`` as JSON; returns the path."""
+def dump_json(obj: Any, path: str | Path, *, indent: int = 2, atomic: bool = False) -> Path:
+    """Serialize ``obj`` to ``path`` as JSON; returns the path.
+
+    With ``atomic=True`` the document is written to a temporary file in the
+    *same directory* (same filesystem, so the rename cannot cross devices),
+    fsync'd, then moved into place with :func:`os.replace`. A reader — or a
+    process resuming after a crash mid-write — can then only ever observe
+    the previous complete document or the new one, never a truncated JSON.
+    Checkpoints (``checkpoint.json``) and perf profiles are written this way.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(to_jsonable(obj), indent=indent, sort_keys=True))
+    text = json.dumps(to_jsonable(obj), indent=indent, sort_keys=True)
+    if not atomic:
+        path.write_text(text)
+        return path
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
     return path
 
 

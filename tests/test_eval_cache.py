@@ -70,7 +70,8 @@ class TestEvalCache:
         hit["objective"] = 0.0  # a copy, not the stored dict
         assert cache.lookup({"x": 1}) == {"objective": 2.5}
         assert cache.stats() == {
-            "hits": 2, "misses": 1, "stores": 1, "rejected": 0, "entries": 1,
+            "hits": 2, "misses": 1, "stores": 1, "rejected": 0, "corrupt": 0,
+            "entries": 1,
         }
 
     def test_int_float_configs_share_entries(self):
@@ -203,7 +204,8 @@ class TestRunnerIntegration:
         )
         runner.run()
         assert cache.stats() == {
-            "hits": 0, "misses": 1, "stores": 0, "rejected": 0, "entries": 0,
+            "hits": 0, "misses": 1, "stores": 0, "rejected": 0, "corrupt": 0,
+            "entries": 0,
         }
 
 
