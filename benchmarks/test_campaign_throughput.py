@@ -1,7 +1,7 @@
 """Campaign-throughput benchmark for the ask/tell hot path.
 
 Measures how fast an optimization campaign turns the suggest → evaluate →
-tell crank, comparing two arms over the same search space and seed:
+tell crank, comparing three arms over the same search space and seed:
 
 - **baseline** — the pre-batching protocol: one ``ask()`` per trial with a
   surrogate refit on every ask (``refit_every=1``), an unbounded fitted-model
@@ -10,14 +10,21 @@ tell crank, comparing two arms over the same search space and seed:
 - **fast** — the batched hot path through :func:`repro.search.run`: asks are
   drawn eight at a time from a single surrogate fit, refits are throttled
   (``refit_every=8``), the model history is off, and results are lazy.
+- **flat** — refits off the ask path entirely: incremental per-tell
+  ``partial_fit`` updates, full refits on the background worker with
+  parallel tree fitting, over a longer campaign. The payload's
+  ``suggest_head`` / ``suggest_tail`` blocks hold the first-window vs
+  last-window suggest percentiles; the benchmark asserts the tail stays
+  flat (p99 within 2× of the head) as the trial count grows.
 
 The objective is a cheap analytic quadratic so the measurement isolates the
 optimizer-side cost (suggest + tell), not the evaluation. Results land in
 ``benchmarks/results/BENCH_campaign.json``: trials/sec per arm, the
-suggest+tell speedup, p50/p90/p99 suggest and tell latencies, and peak RSS.
+suggest+tell speedup, p50/p90/p99 suggest and tell latencies, the flat arm's
+head/tail split and fit counters, a sync-determinism marker, and peak RSS.
 
-Scale: 500 trials by default (the paper-scale campaign budget); set
-``REPRO_BENCH_SMOKE=1`` for a 120-trial smoke run (used by CI).
+Scale: 500 trials (flat arm 1000) by default; set ``REPRO_BENCH_SMOKE=1``
+for a 120-trial (flat arm 360) smoke run (used by CI).
 """
 
 from __future__ import annotations
@@ -35,6 +42,8 @@ from repro.search.algos import SurrogateSearch
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
 N_TRIALS = 120 if SMOKE else 500
+N_FLAT = 360 if SMOKE else 1000
+WINDOW = 120  # head/tail window for the flat-arm percentile split
 BATCH_SIZE = 8
 REFIT_EVERY = 8
 SEED = 2021
@@ -138,20 +147,109 @@ def _run_fast(n: int) -> dict:
     }
 
 
+def _run_flat(n: int) -> dict:
+    """Long campaign with refits off the ask path: incremental per-tell
+    updates plus background full refits with parallel tree fitting. Records
+    the first-window vs last-window suggest percentiles so the payload can
+    show (and the test can assert) that the tail stays flat as trials grow.
+    """
+    space = _space()
+    opt = Optimizer(
+        space,
+        random_state=SEED,
+        refit_every=REFIT_EVERY,
+        incremental=True,
+        background_refit=True,
+        fit_jobs=2,
+    )
+    names = space.names
+    suggest_s: list[float] = []
+    tell_s: list[float] = []
+    wall0 = time.perf_counter()
+    try:
+        for _ in range(n):
+            t0 = time.perf_counter()
+            point = opt.ask()
+            t1 = time.perf_counter()
+            y = _objective(dict(zip(names, point)))
+            t2 = time.perf_counter()
+            opt.tell(point, y)
+            t3 = time.perf_counter()
+            suggest_s.append(t1 - t0)
+            tell_s.append(t3 - t2)
+        wall = time.perf_counter() - wall0
+        best = opt.result().fun
+        n_fits = opt.n_fits
+        n_background = opt.n_background_fits
+    finally:
+        opt.close()
+    head = _percentiles(suggest_s[:WINDOW])
+    tail = _percentiles(suggest_s[-WINDOW:])
+    # A tiny absolute floor keeps the ratio meaningful when both windows
+    # are sub-millisecond and dominated by scheduler noise.
+    floor_ms = 5.0
+    tail_ratio = tail["p99_ms"] / max(head["p99_ms"], floor_ms)
+    return {
+        "trials": n,
+        "wall_s": wall,
+        "trials_per_sec": n / wall,
+        "suggest": _percentiles(suggest_s),
+        "suggest_head": head,
+        "suggest_tail": tail,
+        "tell": _percentiles(tell_s),
+        "tail_ratio_p99": tail_ratio,
+        "n_full_fits": n_fits,
+        "n_background_fits": n_background,
+        "best": best,
+    }
+
+
+def _run_sync_determinism(n: int = 60) -> dict:
+    """Two identical synchronous runs (background_refit off) must agree
+    byte-for-byte — the deterministic fallback the docs promise."""
+
+    def _once() -> tuple[list[float], float]:
+        space = _space()
+        opt = Optimizer(
+            space, random_state=SEED, refit_every=REFIT_EVERY,
+            background_refit=False,
+        )
+        names = space.names
+        for _ in range(n):
+            point = opt.ask()
+            opt.tell(point, _objective(dict(zip(names, point))))
+        result = opt.result()
+        return [float(v) for v in result.func_vals], float(result.fun)
+
+    vals_a, best_a = _once()
+    vals_b, best_b = _once()
+    return {
+        "trials": n,
+        "identical": vals_a == vals_b and best_a == best_b,
+        "best": best_a,
+    }
+
+
 def test_campaign_throughput():
     fast = _run_fast(N_TRIALS)
     rss_after_fast = _peak_rss_mb()
     base = _run_baseline(N_TRIALS)
+    flat = _run_flat(N_FLAT)
+    determinism = _run_sync_determinism()
 
     speedup = base["opt_time_s"] / fast["opt_time_s"]
     payload = {
         "scale": "smoke" if SMOKE else "full",
         "n_trials": N_TRIALS,
+        "n_flat_trials": N_FLAT,
+        "flat_window": WINDOW,
         "batch_size": BATCH_SIZE,
         "refit_every": REFIT_EVERY,
         "seed": SEED,
         "baseline": base,
         "fast": fast,
+        "flat": flat,
+        "sync_determinism": determinism,
         "suggest_tell_speedup": speedup,
         "peak_rss_mb": _peak_rss_mb(),
         "peak_rss_after_fast_mb": rss_after_fast,
@@ -181,6 +279,13 @@ def test_campaign_throughput():
         f"{fast['tell']['p50_ms']:.2f}/{fast['tell']['p90_ms']:.2f}/"
         f"{fast['tell']['p99_ms']:.2f} ms"
     )
+    print(
+        f"  flat ({N_FLAT} trials): suggest p99 head/tail "
+        f"{flat['suggest_head']['p99_ms']:.2f}/{flat['suggest_tail']['p99_ms']:.2f} ms "
+        f"(ratio {flat['tail_ratio_p99']:.2f}), "
+        f"{flat['n_full_fits']} blocking + {flat['n_background_fits']} background fits"
+    )
+    print(f"  sync determinism: {determinism['identical']}")
     print(f"  peak RSS: {payload['peak_rss_mb']:.1f} MB")
 
     # The hot-path rewrite must hold a >=5x suggest+tell advantage and keep
@@ -191,3 +296,15 @@ def test_campaign_throughput():
     # Both arms optimize: sanity that batching didn't break convergence badly.
     assert fast["best"] < 0.5
     assert base["best"] < 0.5
+    # Flat arm: with refits off the ask path, the suggest p99 at trial
+    # N_FLAT must stay within 2x of the p99 over the first WINDOW trials,
+    # and at most the initial model fit may have blocked an ask.
+    assert flat["tail_ratio_p99"] <= 2.0, (
+        f"suggest tail grew: head p99 {flat['suggest_head']['p99_ms']:.2f} ms, "
+        f"tail p99 {flat['suggest_tail']['p99_ms']:.2f} ms"
+    )
+    assert flat["n_full_fits"] <= 1
+    assert flat["n_background_fits"] >= 1
+    assert flat["best"] < 0.5
+    # And the synchronous fallback stays byte-deterministic.
+    assert determinism["identical"]

@@ -82,6 +82,7 @@ class ExperimentArchive:
         self,
         records: list[dict[str, Any]],
         watchdog_state: dict[str, Any] | None = None,
+        searcher_state: dict[str, Any] | None = None,
     ) -> Path:
         """Persist the finished-trial state for ``--resume``.
 
@@ -91,11 +92,16 @@ class ExperimentArchive:
         complete state or the new one on disk, never a truncated JSON.
         When a live watchdog is armed, its control state (fired alert keys,
         counts) rides along under ``"watchdog"`` so a resumed campaign does
-        not re-fire alerts the crashed one already raised.
+        not re-fire alerts the crashed one already raised. Likewise the
+        searcher's internal state (surrogate refit cadence, hedge gains)
+        rides along under ``"searcher"`` so a resumed campaign neither
+        refit-storms nor serves a stale model.
         """
         payload: dict[str, Any] = {"trials": records}
         if watchdog_state is not None:
             payload["watchdog"] = watchdog_state
+        if searcher_state is not None:
+            payload["searcher"] = searcher_state
         return dump_json(payload, self.root / "checkpoint.json", atomic=True)
 
     def _read_checkpoint(self) -> dict[str, Any] | None:
@@ -173,6 +179,18 @@ class ExperimentArchive:
         if data is None:
             return None
         state = data.get("watchdog")
+        return dict(state) if isinstance(state, dict) else None
+
+    def load_searcher_state(self) -> dict[str, Any] | None:
+        """The checkpointed searcher state (refit cadence, hedge gains), if any.
+
+        Corrupt or pre-upgrade checkpoints yield ``None`` — the searcher
+        then recomputes its cadence from the replayed tells alone.
+        """
+        data = self._read_checkpoint()
+        if data is None:
+            return None
+        state = data.get("searcher")
         return dict(state) if isinstance(state, dict) else None
 
     # -- packing ("E2Clab provides an archive of the generated data") ------------------

@@ -8,9 +8,13 @@ centroids back across the process boundary (see
 :mod:`repro.observability.fabric`).
 
 The :class:`PerfRecorder` attaches one digest to every hot-path op
-(``suggest`` / ``tell`` / ``evaluate`` / ``queue_wait`` / ``deploy`` /
-``reconfigure`` / ``evalcache_lookup`` / ``des_run``) plus a windowed time
-series of per-window digests, and exports:
+(``suggest`` / ``suggest_fit`` / ``tell`` / ``refit`` / ``evaluate`` /
+``queue_wait`` / ``deploy`` / ``reconfigure`` / ``evalcache_lookup`` /
+``des_run``) plus a windowed time series of per-window digests, and
+exports (``suggest`` is the per-candidate amortized hot path;
+``suggest_fit`` isolates the asks that blocked on an inline surrogate
+fit; ``refit`` times every surrogate fit wherever it ran, including the
+background-refit worker):
 
 - ``perf_profile.json`` — the run artifact the regression gate
   (``python -m repro perf``) snapshots and diffs;

@@ -138,12 +138,18 @@ def _looks_like_bench_campaign(data: Mapping[str, Any]) -> bool:
 
 
 def _parse_bench_campaign(data: Mapping[str, Any]) -> dict[str, OpStats]:
-    """BENCH_campaign.json: per-arm suggest/tell percentile blocks (ms)."""
+    """BENCH_campaign.json: per-arm suggest/tell percentile blocks (ms).
+
+    ``suggest_fit`` (fit-bearing asks) and ``suggest_tail`` (last-window
+    suggest latency of the flat-tail arm) are optional blocks newer
+    benchmark runs add; absent blocks are skipped so old baselines keep
+    diffing.
+    """
     out: dict[str, OpStats] = {}
     for arm, payload in data.items():
         if not isinstance(payload, Mapping):
             continue
-        for phase in ("suggest", "tell"):
+        for phase in ("suggest", "suggest_fit", "suggest_tail", "tell"):
             block = payload.get(phase)
             if not isinstance(block, Mapping):
                 continue

@@ -190,6 +190,13 @@ class OptimizerConf:
         return OptimizationProblem(self.build_space(), objectives, constraints=constraints)
 
     def build_search(self, space: Space) -> SearchAlgorithm:
+        """Build the search algorithm from the ``algorithm`` block.
+
+        Unrecognized keys forward to :class:`SurrogateSearch` and on to
+        :class:`repro.bayesopt.Optimizer`, so the suggest hot-path knobs —
+        ``batch_size``, ``refit_every``, ``incremental``,
+        ``background_refit``, ``fit_jobs`` — are all configurable here.
+        """
         algo = dict(self.algorithm)
         kind = algo.pop("search", "surrogate").lower()
         if kind in ("surrogate", "skopt"):

@@ -215,19 +215,26 @@ class Optimization(abc.ABC):
             search_alg = ConcurrencyLimiter(search_alg, max_concurrent)
 
         resume_trials = None
+        resume_searcher_state = None
         if resume:
             from repro.search.trial import Trial
 
             resume_trials = [Trial.from_dict(r) for r in self.archive.load_checkpoint()]
+            resume_searcher_state = self.archive.load_searcher_state()
 
-        def checkpoint(records: list[dict[str, Any]]) -> Path:
+        def checkpoint(
+            records: list[dict[str, Any]], searcher_state: dict[str, Any] | None = None
+        ) -> Path:
             # When a live watchdog is armed, its control state rides along in
-            # checkpoint.json so --resume does not re-fire old alerts.
+            # checkpoint.json so --resume does not re-fire old alerts; the
+            # searcher state keeps the refit cadence across resumes.
             from repro.observability.watchdog import get_watchdog
 
             watchdog = get_watchdog()
             state = watchdog.state_dict() if watchdog is not None else None
-            return self.archive.store_checkpoint(records, watchdog_state=state)
+            return self.archive.store_checkpoint(
+                records, watchdog_state=state, searcher_state=searcher_state
+            )
 
         tracer = self.tracer
         start = time.perf_counter()
@@ -246,6 +253,7 @@ class Optimization(abc.ABC):
             retry_backoff_s=retry_backoff_s,
             trial_timeout_s=trial_timeout_s,
             resume_trials=resume_trials,
+            resume_searcher_state=resume_searcher_state,
             checkpoint=checkpoint,
             checkpoint_every=checkpoint_every,
             eval_cache=eval_cache,

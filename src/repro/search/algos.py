@@ -61,6 +61,33 @@ class SearchAlgorithm(abc.ABC):
     def on_trial_error(self, trial_id: str, config: dict[str, Any]) -> None:
         """Default: forget the pending suggestion (subclasses may override)."""
 
+    # -- checkpoint / lifecycle hooks -------------------------------------------------
+
+    def state_dict(self) -> Optional[dict[str, Any]]:
+        """Checkpointable searcher internals, or ``None`` when stateless.
+
+        Whatever this returns is stored verbatim in ``checkpoint.json`` and
+        handed back to :meth:`load_state` on ``--resume`` *after* the
+        finished trials have been replayed through
+        :meth:`on_trial_complete`.
+        """
+        return None
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output (no-op for stateless searchers)."""
+
+    def fit_count(self) -> int:
+        """Monotonic count of inline (ask-blocking) surrogate fits.
+
+        The trial runner compares it around a suggest call to classify the
+        latency as fit-bearing (``suggest_fit``) or amortized (``suggest``).
+        Always 0 for model-free searchers.
+        """
+        return 0
+
+    def close(self) -> None:
+        """Release background resources (refit worker threads); idempotent."""
+
 
 class SurrogateSearch(SearchAlgorithm):
     """Model-based search wrapping :class:`repro.bayesopt.Optimizer`.
@@ -117,6 +144,20 @@ class SurrogateSearch(SearchAlgorithm):
     def on_trial_complete(self, trial_id: str, config: dict[str, Any], value: float) -> None:
         point = [config[name] for name in self.space.names]
         self.optimizer.tell(point, self._sign(value))
+
+    def state_dict(self) -> Optional[dict[str, Any]]:
+        return {"optimizer": self.optimizer.export_state()}
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        optimizer_state = state.get("optimizer")
+        if optimizer_state:
+            self.optimizer.restore_state(optimizer_state)
+
+    def fit_count(self) -> int:
+        return self.optimizer.n_fits
+
+    def close(self) -> None:
+        self.optimizer.close()
 
 
 class RandomSearch(SearchAlgorithm):
@@ -208,3 +249,15 @@ class ConcurrencyLimiter(SearchAlgorithm):
     def on_trial_error(self, trial_id: str, config: dict[str, Any]) -> None:
         self._outstanding.discard(trial_id)
         self.searcher.on_trial_error(trial_id, config)
+
+    def state_dict(self) -> Optional[dict[str, Any]]:
+        return self.searcher.state_dict()
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        self.searcher.load_state(state)
+
+    def fit_count(self) -> int:
+        return self.searcher.fit_count()
+
+    def close(self) -> None:
+        self.searcher.close()

@@ -64,7 +64,11 @@ from repro.search.trial import Reporter, StopTrial, Trial, TrialStatus
 
 __all__ = ["TrialRunner", "ExperimentAnalysis", "run"]
 
-Checkpointer = Callable[[list[dict[str, Any]]], Any]
+#: persistence callback. Single-argument callables receive the finished
+#: trial records; two-argument callables additionally receive the
+#: searcher's ``state_dict()`` (refit cadence, hedge gains) so ``--resume``
+#: restores the optimization cadence, not just the observations.
+Checkpointer = Callable[..., Any]
 
 
 @dataclass
@@ -152,6 +156,7 @@ class TrialRunner:
         retry_backoff_s: float = 0.0,
         trial_timeout_s: float | None = None,
         resume_trials: list[Trial] | None = None,
+        resume_searcher_state: dict[str, Any] | None = None,
         checkpoint: Checkpointer | None = None,
         checkpoint_every: int = 1,
         eval_cache: "EvalCache | None" = None,
@@ -200,7 +205,10 @@ class TrialRunner:
         self._scheduler_lock = threading.Lock()
         #: trials replayed from a checkpoint (count against num_samples).
         self._resume_trials: list[Trial] = list(resume_trials or [])
+        #: searcher state from the checkpoint, restored after replay.
+        self._resume_searcher_state = resume_searcher_state
         self._checkpoint = checkpoint
+        self._checkpoint_takes_state = self._accepts_state(checkpoint)
         self.checkpoint_every = int(checkpoint_every)
         #: memoizing trial cache consulted before executor submission.
         self.eval_cache = eval_cache
@@ -215,6 +223,27 @@ class TrialRunner:
             self._log_path = directory / f"{name}.jsonl"
             self._log_path.write_text("")  # truncate previous runs
 
+    @staticmethod
+    def _accepts_state(checkpoint: Checkpointer | None) -> bool:
+        """Whether the checkpointer takes a second (searcher state) argument."""
+        if checkpoint is None:
+            return False
+        import inspect
+
+        try:
+            params = list(inspect.signature(checkpoint).parameters.values())
+        except (TypeError, ValueError):
+            return False
+        positional = [
+            p
+            for p in params
+            if p.kind
+            in (inspect.Parameter.POSITIONAL_ONLY, inspect.Parameter.POSITIONAL_OR_KEYWORD)
+        ]
+        if any(p.kind is inspect.Parameter.VAR_POSITIONAL for p in params):
+            return True
+        return len(positional) >= 2
+
     def _observing(self) -> bool:
         """Whether any telemetry consumer is active (workers should join)."""
         return bool(self._tracer.enabled or get_registry().enabled or get_perf().enabled)
@@ -223,21 +252,47 @@ class TrialRunner:
 
     def _suggest(self, trial_id: str) -> tuple[Optional[dict[str, Any]], float]:
         """Time one ``suggest`` call (acquisition + surrogate read)."""
+        fits_before = self.search_alg.fit_count()
         start = time.perf_counter()
         config = self.search_alg.suggest(trial_id)
-        return config, time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        if config is not None:
+            self._record_suggest(elapsed, 1, fits_before)
+        return config, elapsed
 
     def _suggest_batch(self, trial_ids: list[str]) -> tuple[list[dict[str, Any]], float]:
         """Time one batched suggest; returns configs and the per-config cost."""
+        fits_before = self.search_alg.fit_count()
         start = time.perf_counter()
         configs = self.search_alg.suggest_batch(trial_ids)
         elapsed = time.perf_counter() - start
+        if configs:
+            self._record_suggest(elapsed, len(configs), fits_before)
         return configs, elapsed / len(configs) if configs else elapsed
+
+    def _record_suggest(self, elapsed: float, n_configs: int, fits_before: int) -> None:
+        """Split suggest latency into fit-bearing and amortized series.
+
+        One digest mixing ~0.5 µs prefetch hits with fit-bearing asks makes
+        every percentile meaningless, so the two populations are recorded
+        apart: ``suggest_fit`` holds the *whole* elapsed time of an ask that
+        blocked on an inline surrogate fit; ``suggest`` holds the
+        per-candidate cost of everything else (prefetch pops, model reads,
+        cold design draws — the steady-state hot path).
+        """
+        perf = get_perf()
+        if not perf.enabled:
+            return
+        if self.search_alg.fit_count() > fits_before:
+            perf.record("suggest_fit", elapsed)
+        else:
+            per_candidate = elapsed / n_configs
+            for _ in range(n_configs):
+                perf.record("suggest", per_candidate)
 
     def _open_trial(self, trial: Trial, suggest_s: float) -> None:
         """Record the suggest cost; open the trial span if tracing."""
         trial.cost["suggest_s"] = suggest_s
-        get_perf().record("suggest", suggest_s)
         tracer = self._tracer
         if not tracer.enabled:
             return
@@ -550,7 +605,11 @@ class TrialRunner:
         if self._checkpoint is None or self._since_checkpoint == 0:
             return
         self._since_checkpoint = 0
-        self._checkpoint([t.to_dict() for t in self._finished])
+        records = [t.to_dict() for t in self._finished]
+        if self._checkpoint_takes_state:
+            self._checkpoint(records, self.search_alg.state_dict())
+        else:
+            self._checkpoint(records)
 
     def _replay_resumed(self, trials: list[Trial]) -> int:
         """Feed checkpointed trials back into the searcher without re-executing.
@@ -575,6 +634,10 @@ class TrialRunner:
             elif trial.status is TrialStatus.ERROR:
                 self.search_alg.on_trial_error(trial.trial_id, trial.config)
             self._log_trial(trial)
+        if self._resume_searcher_state:
+            # After replay, so counters restored here are clamped against
+            # the full replayed history rather than an empty searcher.
+            self.search_alg.load_state(self._resume_searcher_state)
         return len(self._resume_trials)
 
     # -- main loop --------------------------------------------------------------------
@@ -767,6 +830,9 @@ def run(
     log_dir: str | None = None,
     batch_size: int = 1,
     refit_every: int = 1,
+    incremental: bool = False,
+    background_refit: bool = False,
+    fit_jobs: int | None = None,
     backend_options: dict[str, Any] | None = None,
 ) -> ExperimentAnalysis:
     """``tune.run``-style entry point.
@@ -777,8 +843,12 @@ def run(
     and ``refit_every`` tune the default searcher's suggest hot path:
     batched asks amortize one surrogate fit over several suggestions, and
     refits are throttled to every ``refit_every`` fresh observations.
-    ``backend_options`` parameterizes the execution backend (e.g. the
-    ``"store"`` executor's ``store_dir``).
+    ``incremental`` / ``background_refit`` / ``fit_jobs`` take the
+    remaining full refits off the ask path entirely (see
+    :class:`repro.bayesopt.Optimizer`; the first two trade bit-exact
+    reproducibility for a flat suggest tail). ``backend_options``
+    parameterizes the execution backend (e.g. the ``"store"`` executor's
+    ``store_dir``).
     """
     if search_alg is None:
         if space is None:
@@ -793,6 +863,9 @@ def run(
             random_state=seed,
             batch_size=batch_size,
             refit_every=refit_every,
+            incremental=incremental,
+            background_refit=background_refit,
+            fit_jobs=fit_jobs,
         )
     runner = TrialRunner(
         trainable,

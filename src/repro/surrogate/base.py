@@ -13,7 +13,14 @@ __all__ = ["SurrogateModel", "get_surrogate", "check_fit_inputs"]
 
 
 def check_fit_inputs(X: Any, y: Any) -> tuple[np.ndarray, np.ndarray]:
-    """Validate and convert training data to float arrays."""
+    """Validate and convert training data to float arrays.
+
+    Rows whose objective value is NaN or ±inf are **dropped** rather than
+    rejected: a failed measurement (crashed trial, diverged simulation) must
+    not poison tree construction — a single NaN turns every split-score SSE
+    into NaN, silently producing a stump. Non-finite *features* still raise,
+    because they indicate a broken space transform, not a bad measurement.
+    """
     X = np.asarray(X, dtype=float)
     y = np.asarray(y, dtype=float).ravel()
     if X.ndim != 2:
@@ -24,8 +31,12 @@ def check_fit_inputs(X: Any, y: Any) -> tuple[np.ndarray, np.ndarray]:
         raise ValidationError("cannot fit on an empty dataset")
     if not np.isfinite(X).all():
         raise ValidationError("X contains non-finite values")
-    if not np.isfinite(y).all():
-        raise ValidationError("y contains non-finite values")
+    finite = np.isfinite(y)
+    if not finite.all():
+        X = X[finite]
+        y = y[finite]
+        if len(y) == 0:
+            raise ValidationError("all y values are non-finite; nothing to fit")
     return X, y
 
 
@@ -35,12 +46,28 @@ class SurrogateModel(abc.ABC):
     #: name used in configurations (``base_estimator='ET'``).
     name: str = ""
 
+    #: whether :meth:`partial_fit` performs a real incremental update.
+    supports_partial_fit: bool = False
+
     def __init__(self) -> None:
         self.n_features_: int | None = None
 
     @abc.abstractmethod
     def fit(self, X: Any, y: Any) -> "SurrogateModel":
         """Train on ``X`` (n, d) / ``y`` (n,); returns self."""
+
+    def partial_fit(self, X: Any, y: Any) -> "SurrogateModel":
+        """Fold fresh observations into an already-fitted model.
+
+        Implementations must be *publish-safe*: a concurrent ``predict``
+        from another thread may observe the model before or after the
+        update, but never a torn intermediate state (the background-refit
+        optimizer calls this while asks read the model). The default raises
+        — callers gate on :attr:`supports_partial_fit`.
+        """
+        raise ValidationError(
+            f"{type(self).__name__} does not support incremental updates"
+        )
 
     @abc.abstractmethod
     def predict(

@@ -1,5 +1,7 @@
 """Tests for acquisitions and the ask/tell Bayesian optimizer."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -93,11 +95,32 @@ class TestOptimizer:
         assert len(opt.yi) == 6
         assert not opt._pending
 
-    def test_tell_rejects_nonfinite(self):
-        opt = Optimizer(self._space(), random_state=0)
+    def test_tell_quarantines_nonfinite(self):
+        """A NaN tell is recorded (never re-suggested) but poisons nothing:
+        later asks still return finite candidates and the incumbent ignores
+        the quarantined value."""
+        opt = Optimizer(self._space(), n_initial_points=3, random_state=0)
         x = opt.ask()
-        with pytest.raises(ValidationError):
-            opt.tell(x, float("nan"))
+        opt.tell(x, float("nan"))
+        assert len(opt.yi) == 1
+        assert opt._n_finite == 0
+        for _ in range(8):
+            x = opt.ask()
+            opt.tell(x, self._quadratic(x))
+        x = opt.ask()
+        opt.tell(x, float("inf"))
+        # model-based asks after non-finite tells stay finite
+        x = opt.ask()
+        assert np.isfinite(np.asarray(x, dtype=float)).all()
+        result = opt.result()
+        assert math.isfinite(result.fun)
+        assert result.n_evaluations == 10
+
+    def test_result_requires_a_finite_tell(self):
+        opt = Optimizer(self._space(), n_initial_points=2, random_state=0)
+        opt.tell(opt.ask(), float("nan"))
+        with pytest.raises(OptimizationError):
+            opt.result()
 
     def test_result_before_tell(self):
         opt = Optimizer(self._space())
