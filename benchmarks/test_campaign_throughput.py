@@ -25,12 +25,20 @@ head/tail split and fit counters, a sync-determinism marker, and peak RSS.
 
 Scale: 500 trials (flat arm 1000) by default; set ``REPRO_BENCH_SMOKE=1``
 for a 120-trial (flat arm 360) smoke run (used by CI).
+
+Set ``REPRO_BENCH_SERVE=1`` to run the fast arm with the live telemetry
+plane attached (status board + embedded HTTP monitor + a background
+scraper hammering ``/metrics`` and ``/status``): the measured suggest/tell
+percentiles then include the monitor's hot-path cost, and the perf gate
+downstream verifies serving does not regress the campaign.
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
 import resource
+import threading
 import time
 
 import numpy as np
@@ -41,6 +49,7 @@ from repro.search import run
 from repro.search.algos import SurrogateSearch
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+SERVE = os.environ.get("REPRO_BENCH_SERVE", "") == "1"
 N_TRIALS = 120 if SMOKE else 500
 N_FLAT = 360 if SMOKE else 1000
 WINDOW = 120  # head/tail window for the flat-arm percentile split
@@ -112,6 +121,44 @@ def _run_baseline(n: int) -> dict:
     }
 
 
+@contextlib.contextmanager
+def _serving(n: int):
+    """With ``REPRO_BENCH_SERVE=1``: a status board, a live monitor, and a
+    background scraper polling ``/metrics`` + ``/status`` while the timed
+    arm runs — so the measurement includes the telemetry plane's cost on
+    the hot path. Yields the monitor (or ``None`` when serving is off)."""
+    if not SERVE:
+        yield None
+        return
+    import urllib.request
+
+    from repro.observability.live import LiveMonitor, StatusBoard, set_status_board
+
+    set_status_board(StatusBoard(name="bench_campaign", num_samples=n, mode="min"))
+    monitor = LiveMonitor("127.0.0.1", 0, name="bench_campaign")
+    monitor.start()
+    stop = threading.Event()
+
+    def scrape() -> None:
+        while not stop.wait(0.2):
+            for endpoint in ("/metrics", "/status"):
+                try:
+                    with urllib.request.urlopen(monitor.url + endpoint, timeout=5) as r:
+                        r.read()
+                except OSError:
+                    pass
+
+    scraper = threading.Thread(target=scrape, name="bench-scraper", daemon=True)
+    scraper.start()
+    try:
+        yield monitor
+    finally:
+        stop.set()
+        scraper.join(timeout=5)
+        monitor.stop()
+        set_status_board(None)
+
+
 def _run_fast(n: int) -> dict:
     """Batched hot path through the trial runner, costs from Trial.cost."""
     space = _space()
@@ -121,16 +168,18 @@ def _run_fast(n: int) -> dict:
         random_state=SEED,
         refit_every=REFIT_EVERY,
     )
-    wall0 = time.perf_counter()
-    analysis = run(
-        _objective,
-        space=space,
-        metric="loss",
-        num_samples=n,
-        search_alg=search,
-        name="bench_campaign",
-    )
-    wall = time.perf_counter() - wall0
+    with _serving(n) as monitor:
+        wall0 = time.perf_counter()
+        analysis = run(
+            _objective,
+            space=space,
+            metric="loss",
+            num_samples=n,
+            search_alg=search,
+            name="bench_campaign",
+        )
+        wall = time.perf_counter() - wall0
+        serve_stats = monitor.self_stats() if monitor is not None else None
     suggest_s = [t.cost.get("suggest_s", 0.0) for t in analysis.trials]
     tell_s = [t.cost.get("tell_s", 0.0) for t in analysis.trials]
     opt_time = sum(suggest_s) + sum(tell_s)
@@ -144,6 +193,7 @@ def _run_fast(n: int) -> dict:
         "tell": _percentiles(tell_s),
         "models_kept": len(search.optimizer.models),
         "best": analysis.best_result,
+        "serve": serve_stats,
     }
 
 
@@ -240,6 +290,7 @@ def test_campaign_throughput():
     speedup = base["opt_time_s"] / fast["opt_time_s"]
     payload = {
         "scale": "smoke" if SMOKE else "full",
+        "serve": SERVE,
         "n_trials": N_TRIALS,
         "n_flat_trials": N_FLAT,
         "flat_window": WINDOW,
@@ -287,6 +338,13 @@ def test_campaign_throughput():
     )
     print(f"  sync determinism: {determinism['identical']}")
     print(f"  peak RSS: {payload['peak_rss_mb']:.1f} MB")
+    if SERVE and fast.get("serve"):
+        stats = fast["serve"]
+        print(
+            f"  live monitor: {stats['requests']} requests scraped, "
+            f"{stats['sse_events_sent']} SSE events, "
+            f"{stats['sse_events_dropped']} dropped"
+        )
 
     # The hot-path rewrite must hold a >=5x suggest+tell advantage and keep
     # the fitted-model history flat (no per-trial model retention).

@@ -27,7 +27,14 @@ Subcommands::
     e2clab-repro calibration [--evaluator analytic|des]
         Print the model-vs-paper calibration report.
 
-    e2clab-repro report RUN_DIR [--top-k N]
+    e2clab-repro monitor RUN_DIR_OR_URL [--interval S] [--once]
+        Tail a campaign in the terminal. Pointed at a live monitor URL (or
+        a run directory whose campaign was started with ``--serve``), it
+        polls ``/status`` and streams ``/events``; pointed at a finished
+        run directory, it prints a static summary from the exported
+        artifacts.
+
+    e2clab-repro report RUN_DIR [--top-k N] [--format text|json]
         Render a human-readable run report (phase timeline, trial table,
         critical path, watchdog alerts, slowest spans, metric rollups)
         from the observability artifacts an ``optimize --trace`` campaign
@@ -54,6 +61,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro.engine.calibration import calibration_report
@@ -106,6 +114,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume an interrupted campaign from its experiment directory "
         "(finished trials are replayed from checkpoint.json, not re-run)",
     )
+    p_opt.add_argument(
+        "--serve",
+        metavar="[HOST:]PORT",
+        default=None,
+        help="attach the live HTTP monitor (/metrics, /status, /events, "
+        "POST /telemetry) to the campaign; port 0 binds an ephemeral port "
+        "published in the run dir's monitor.json",
+    )
 
     p_wrk = sub.add_parser(
         "worker", help="join a store-backed campaign as an elastic trial worker"
@@ -128,6 +144,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_wrk.add_argument(
         "--max-trials", type=int, default=None, help="exit after completing this many trials"
     )
+    p_wrk.add_argument(
+        "--push-telemetry",
+        metavar="URL",
+        nargs="?",
+        const="auto",
+        default=None,
+        help="stream per-trial telemetry to the campaign's live monitor "
+        "mid-campaign; 'auto' (the bare flag) discovers URL and token from "
+        "the run dir's monitor.json",
+    )
+    p_wrk.add_argument(
+        "--telemetry-token",
+        default=None,
+        help="ingest token for --push-telemetry (default: from monitor.json)",
+    )
 
     p_sc = sub.add_parser("scenario", help="run one Pl@ntNet configuration")
     p_sc.add_argument("--config", default="baseline", help="baseline|preliminary|refined or h,d,e,s")
@@ -142,6 +173,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep = sub.add_parser("report", help="render a run report from exported artifacts")
     p_rep.add_argument("run_dir", help="experiment directory holding the artifacts")
     p_rep.add_argument("--top-k", type=int, default=10, help="how many slowest spans to list")
+    p_rep.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format: human-readable text (default) or machine-readable JSON",
+    )
+
+    p_mon = sub.add_parser(
+        "monitor", help="tail a live (or finished) campaign in the terminal"
+    )
+    p_mon.add_argument(
+        "target", help="live monitor URL (http://...) or a campaign run directory"
+    )
+    p_mon.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between /status polls"
+    )
+    p_mon.add_argument(
+        "--once", action="store_true", help="print one status snapshot and exit"
+    )
 
     p_dash = sub.add_parser(
         "dashboard", help="build timeline.html + trace_events.json from spans.jsonl"
@@ -183,6 +233,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the structured diff as JSON to this path",
     )
+    p_diff.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format: rendered text (default) or the structured diff "
+        "as JSON (exit code unchanged)",
+    )
     return parser
 
 
@@ -219,6 +276,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         conf.duration = args.duration
     if args.trace:
         conf.observability = True
+    if args.serve is not None:
+        conf.serve = args.serve
 
     scenario = PlantNetScenario(duration=conf.duration or 300.0, base_seed=conf.seed or 0)
 
@@ -265,12 +324,28 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     runner_id = args.runner_id or default_runner_id(
         str(store.meta.get("name", "")) or None
     )
-    print(f"worker {runner_id} joining {store_dir}")
+    push = None
+    if args.push_telemetry is not None:
+        from repro.errors import ValidationError
+        from repro.observability.live import TelemetryPusher
+
+        url = None if args.push_telemetry == "auto" else args.push_telemetry
+        try:
+            push = TelemetryPusher.from_run_dir(
+                run_dir, url=url, token=args.telemetry_token
+            )
+        except ValidationError as exc:
+            raise SystemExit(str(exc)) from exc
+        print(f"pushing telemetry to {push.url}", flush=True)
+    # flush=True throughout: a worker's stdout is typically piped into a
+    # log file or `tail -f`; block buffering would delay progress lines
+    # until exit.
+    print(f"worker {runner_id} joining {store_dir}", flush=True)
 
     def on_trial(claim, outcome):  # noqa: ANN001 - progress hook
         status = "ok" if outcome.get("ok") else "error"
         reclaimed = " (reclaimed)" if outcome.get("reclaimed") else ""
-        print(f"  {claim.trial_id}: {status}{reclaimed}")
+        print(f"  {claim.trial_id}: {status}{reclaimed}", flush=True)
 
     completed = run_worker(
         store,
@@ -280,8 +355,11 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         idle_timeout_s=args.idle_timeout,
         max_trials=args.max_trials,
         on_trial=on_trial,
+        push=push,
     )
-    print(f"worker {runner_id} done: {completed} trial(s) completed")
+    print(f"worker {runner_id} done: {completed} trial(s) completed", flush=True)
+    if push is not None:
+        print(f"telemetry: {push.pushed} pushed, {push.errors} errors", flush=True)
     return 0
 
 
@@ -289,8 +367,112 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.observability import load_run, render_report
 
     artifacts = load_run(args.run_dir)
+    if args.format == "json":
+        import json
+
+        from repro.observability.report import render_report_json
+
+        print(json.dumps(render_report_json(artifacts, top_k=args.top_k), indent=2))
+        return 0
     print(render_report(artifacts, top_k=args.top_k))
     return 0
+
+
+def _resolve_monitor_url(target: str) -> str | None:
+    """A live monitor URL for ``target``, or ``None`` (finished run dir)."""
+    import json
+    from pathlib import Path
+
+    if target.startswith(("http://", "https://")):
+        return target.rstrip("/")
+    from repro.observability.live import MONITOR_FILE
+
+    monitor_path = Path(target) / MONITOR_FILE
+    if not monitor_path.exists():
+        return None
+    try:
+        doc = json.loads(monitor_path.read_text())
+    except (OSError, ValueError):
+        return None
+    if doc.get("closed") or not doc.get("url"):
+        return None
+    return str(doc["url"]).rstrip("/")
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import threading
+    import urllib.error
+
+    from repro.observability.live import (
+        fetch_status,
+        render_status_line,
+        stream_events,
+    )
+
+    url = _resolve_monitor_url(args.target)
+    if url is None:
+        # No live monitor: fall back to the post-hoc report of a finished run.
+        from pathlib import Path
+
+        from repro.observability import load_run, render_report
+
+        run_dir = Path(args.target)
+        if not run_dir.is_dir():
+            raise SystemExit(
+                f"{args.target!r} is neither a live monitor URL nor a run directory"
+            )
+        print(f"no live monitor for {run_dir}; rendering the finished-run report\n")
+        artifacts = load_run(run_dir)
+        print(render_report(artifacts))
+        return 0
+
+    try:
+        status = fetch_status(url)
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        raise SystemExit(f"live monitor at {url} is unreachable: {exc}") from exc
+    print(render_status_line(status), flush=True)
+    if args.once:
+        return 0
+
+    # Live tail: one thread streams /events, the main loop polls /status.
+    def tail_events() -> None:
+        try:
+            for event, data in stream_events(url, timeout_s=max(args.interval * 5, 30.0)):
+                if event == "alert":
+                    print(
+                        f"  ALERT [{data.get('severity')}] {data.get('kind')}: "
+                        f"{data.get('message')}",
+                        flush=True,
+                    )
+                elif event == "span" and data.get("name", "").startswith("trial:"):
+                    runner = f" @{data['runner_id']}" if data.get("runner_id") else ""
+                    print(
+                        f"  {data.get('trial_id') or data['name']}: "
+                        f"{data.get('status')} in {data.get('duration_s')}s{runner}",
+                        flush=True,
+                    )
+        except (urllib.error.URLError, OSError, ValueError):
+            pass  # campaign over: the poll loop below reports and exits
+
+    tail = threading.Thread(target=tail_events, name="monitor-events", daemon=True)
+    tail.start()
+    last_line = ""
+    try:
+        while True:
+            time.sleep(max(args.interval, 0.1))
+            try:
+                status = fetch_status(url)
+            except (urllib.error.URLError, OSError, ValueError):
+                print("monitor gone (campaign finished or aborted)", flush=True)
+                return 0
+            line = render_status_line(status)
+            if line != last_line:
+                print(line, flush=True)
+                last_line = line
+            if status.get("phase") == "finished":
+                return 0
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_dashboard(args: argparse.Namespace) -> int:
@@ -356,7 +538,12 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         )
     except ValidationError as exc:
         raise SystemExit(str(exc)) from exc
-    print(diff.render())
+    if args.format == "json":
+        import json
+
+        print(json.dumps(diff.to_dict(), indent=2))
+    else:
+        print(diff.render())
     if args.report is not None:
         import json
         from pathlib import Path
@@ -364,7 +551,9 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         report_path = Path(args.report)
         report_path.parent.mkdir(parents=True, exist_ok=True)
         report_path.write_text(json.dumps(diff.to_dict(), indent=2) + "\n")
-        print(f"wrote {report_path}")
+        # Keep stdout pure JSON under --format json: consumers pipe it.
+        out = sys.stderr if args.format == "json" else sys.stdout
+        print(f"wrote {report_path}", file=out)
     return 0 if diff.ok else 1
 
 
@@ -416,6 +605,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_calibration(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "monitor":
+        return _cmd_monitor(args)
     if args.command == "dashboard":
         return _cmd_dashboard(args)
     if args.command == "perf":

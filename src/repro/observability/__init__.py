@@ -26,7 +26,12 @@ and a null metrics registry):
   process-pool workers record spans/metrics/digests locally and the parent
   merges them back with ``runner_id``/``pid`` attribution;
 - :mod:`repro.observability.perf` — perf baselines and the regression gate
-  (``python -m repro perf record|diff``).
+  (``python -m repro perf record|diff``);
+- :mod:`repro.observability.live` — the live telemetry plane: an embedded
+  HTTP monitor (``optimize --serve``) exposing Prometheus ``/metrics``, a
+  ``/status`` campaign document, an SSE ``/events`` stream, the live
+  dashboard, and token-gated ``POST /telemetry`` ingest for remote workers
+  (``python -m repro worker --push-telemetry``).
 
 ``python -m repro report <run-dir>`` renders the exported artifacts
 (:mod:`repro.observability.report`).
@@ -80,8 +85,24 @@ from repro.observability.metrics import (
     get_registry,
     set_registry,
 )
+# after dashboard/watchdog/fabric: live builds on all three.
+from repro.observability.live import (
+    LiveMonitor,
+    StatusBoard,
+    TelemetryPusher,
+    fetch_status,
+    get_status_board,
+    parse_serve_spec,
+    set_status_board,
+    stream_events,
+)
 from repro.observability.profile import COST_COMPONENTS, CostBreakdown, aggregate_costs
-from repro.observability.report import RunArtifacts, load_run, render_report
+from repro.observability.report import (
+    RunArtifacts,
+    load_run,
+    render_report,
+    render_report_json,
+)
 from repro.observability.trace import (
     NoopTracer,
     RecordingTracer,
@@ -150,6 +171,15 @@ __all__ = [
     "drain_worker",
     "merge_payload",
     "worker_active",
+    "LiveMonitor",
+    "StatusBoard",
+    "TelemetryPusher",
+    "get_status_board",
+    "set_status_board",
+    "parse_serve_spec",
+    "fetch_status",
+    "stream_events",
+    "render_report_json",
     "enable",
     "disable",
     "export",

@@ -309,8 +309,62 @@ function trials() {
 tiles(); legend(); timeline(); critpath(); perf(); alerts(); trials();
 window.addEventListener("resize", () => { timeline(); critpath(); });
 </script>
-</body>
+__LIVE__</body>
 </html>
+"""
+
+#: substituted for ``__LIVE__`` when the dashboard is served by the live
+#: monitor: a status card that polls ``/status`` and tails ``/events``.
+_LIVE_SCRIPT = """<script>
+"use strict";
+(function () {
+  const card = document.createElement("div");
+  card.className = "card";
+  card.innerHTML = '<h2>Live</h2><div id="live-status">connecting\\u2026</div>' +
+    '<pre id="live-events" style="max-height:14em;overflow-y:auto"></pre>';
+  const root = document.querySelector(".viz-root") || document.body;
+  root.insertBefore(card, root.firstChild.nextSibling);
+  const statusEl = document.getElementById("live-status");
+  const eventsEl = document.getElementById("live-events");
+
+  function poll() {
+    fetch("/status").then(r => r.json()).then(s => {
+      const t = s.trials || {};
+      const inc = s.incumbent || {};
+      const workers = (s.workers || []);
+      const live = workers.filter(w => w.lease_state === "live").length;
+      statusEl.textContent =
+        `[${s.phase}] ${t.done || 0}/${t.total || 0} done, ` +
+        `${t.running || 0} running` +
+        (inc.trial_id ? `, best ${Number(inc.value).toPrecision(5)} (${inc.trial_id})` : "") +
+        (workers.length ? `, ${live}/${workers.length} workers live` : "") +
+        ((s.alerts || {}).total ? `, ${s.alerts.total} alerts` : "");
+    }).catch(() => { statusEl.textContent = "monitor unreachable"; });
+  }
+  poll();
+  setInterval(poll, 2000);
+
+  function append(line) {
+    eventsEl.textContent += line + "\\n";
+    if (eventsEl.textContent.length > 20000) {
+      eventsEl.textContent = eventsEl.textContent.slice(-15000);
+    }
+    eventsEl.scrollTop = eventsEl.scrollHeight;
+  }
+  const source = new EventSource("/events");
+  source.addEventListener("hello", e => append("connected: " + e.data));
+  source.addEventListener("span", e => {
+    const d = JSON.parse(e.data);
+    append(`span ${d.name} ${d.duration_s}s` +
+      (d.trial_id ? ` trial=${d.trial_id}` : "") +
+      (d.runner_id ? ` runner=${d.runner_id}` : ""));
+  });
+  source.addEventListener("alert", e => {
+    const d = JSON.parse(e.data);
+    append(`ALERT [${d.severity}] ${d.kind}: ${d.message}`);
+  });
+})();
+</script>
 """
 
 
@@ -321,8 +375,13 @@ def render_dashboard(
     subtitle: str = "",
     alerts: Sequence[Mapping[str, Any]] = (),
     perf: Mapping[str, Any] | None = None,
+    live: bool = False,
 ) -> str:
-    """The dashboard as one self-contained HTML string."""
+    """The dashboard as one self-contained HTML string.
+
+    ``live=True`` (the monitor's ``GET /``) appends a script that polls
+    ``/status`` and tails ``/events`` on top of the static snapshot.
+    """
     payload = {
         "analysis": analysis.to_dict(),
         # raw intervals per trial, for the segment rectangles.
@@ -338,7 +397,8 @@ def render_dashboard(
     }
     # </script> inside a JSON string would terminate the data block early.
     data = json.dumps(payload).replace("</", "<\\/")
-    return _TEMPLATE.replace("__TITLE__", html.escape(title)).replace("__DATA__", data)
+    page = _TEMPLATE.replace("__TITLE__", html.escape(title)).replace("__DATA__", data)
+    return page.replace("__LIVE__", _LIVE_SCRIPT if live else "")
 
 
 def write_dashboard(

@@ -30,7 +30,7 @@ from repro.observability.trace import Span, load_spans
 from repro.observability.watchdog import ALERTS_FILE, load_alerts
 from repro.utils.tables import Table
 
-__all__ = ["RunArtifacts", "load_run", "render_report"]
+__all__ = ["RunArtifacts", "load_run", "render_report", "render_report_json"]
 
 #: artifact names with fixed meaning inside a run directory.
 SPANS_FILE = "spans.jsonl"
@@ -358,3 +358,50 @@ def render_report(artifacts: RunArtifacts, *, top_k: int = 10) -> str:
         _render_metrics(artifacts.metrics),
     ]
     return "\n\n".join(section for section in sections if section)
+
+
+def render_report_json(artifacts: RunArtifacts, *, top_k: int = 10) -> dict[str, Any]:
+    """The run report as one machine-readable document (``--format json``).
+
+    Consumed by the ``monitor`` CLI and CI jobs; the same sources as
+    :func:`render_report`, minus the purely visual sections (timeline
+    bars), plus raw span counts.
+    """
+
+    def _clean(value: Any) -> Any:
+        # NaN is not valid JSON; normalize to null for strict consumers.
+        if isinstance(value, float) and value != value:
+            return None
+        if isinstance(value, dict):
+            return {k: _clean(v) for k, v in value.items()}
+        if isinstance(value, list):
+            return [_clean(v) for v in value]
+        return value
+
+    closed = [s for s in artifacts.spans if s.end_s is not None]
+    slowest = sorted(closed, key=lambda s: s.duration_s, reverse=True)[:top_k]
+    return _clean(
+        {
+            "schema": "repro.report/1",
+            "root": str(artifacts.root),
+            "manifest": artifacts.manifest,
+            "summary": artifacts.summary,
+            "trials": _trial_records(artifacts),
+            "alerts": artifacts.alerts,
+            "perf": artifacts.perf,
+            "metrics": artifacts.metrics,
+            "spans": {
+                "total": len(artifacts.spans),
+                "slowest": [
+                    {
+                        "name": s.name,
+                        "duration_s": s.duration_s,
+                        "sim_duration": s.sim_duration,
+                        "status": s.status,
+                        "attributes": dict(s.attributes),
+                    }
+                    for s in slowest
+                ],
+            },
+        }
+    )

@@ -171,6 +171,9 @@ class CampaignWatchdog:
         self._fault_times: list[float] = []
         self._fault_total_seen = 0.0
         self._tracer: Any = None
+        #: live alert consumers (the SSE fan-out); invoked outside the lock.
+        self._subscribers: list[Any] = []
+        self._subscriber_errors = 0
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -382,9 +385,31 @@ class CampaignWatchdog:
                 return
             self._fired.add(key)
             self._counts[kind] = self._counts.get(kind, 0) + 1
-            self._alerts.append(
-                Alert(kind=kind, severity=severity, message=message, time_s=time_s, details=details)
+            alert = Alert(
+                kind=kind, severity=severity, message=message, time_s=time_s, details=details
             )
+            self._alerts.append(alert)
+            subscribers = list(self._subscribers) if self._subscribers else None
+        # Callbacks run outside the lock: a subscriber reading back into the
+        # watchdog (or fanning out to SSE queues) must not deadlock _emit.
+        if subscribers is not None:
+            for callback in subscribers:
+                try:
+                    callback(alert)
+                except Exception:
+                    with self._lock:
+                        self._subscriber_errors += 1
+
+    def subscribe(self, callback: Any) -> None:
+        """Stream every *accepted* alert to ``callback`` as it fires."""
+        with self._lock:
+            if callback not in self._subscribers:
+                self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Any) -> None:
+        with self._lock:
+            if callback in self._subscribers:
+                self._subscribers.remove(callback)
 
     def alerts(self) -> list[Alert]:
         with self._lock:

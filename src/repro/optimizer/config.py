@@ -89,6 +89,11 @@ class OptimizerConf:
     #: ``metrics.json`` / ``metrics.prom`` into the experiment directory
     #: (the ``e2clab-repro optimize --trace`` switch).
     observability: bool = False
+    #: attach the live HTTP monitor to the campaign: a port (``8080``) or
+    #: ``"HOST:PORT"`` string (the ``optimize --serve`` switch; port ``0``
+    #: binds an ephemeral port published in the run dir's ``monitor.json``).
+    #: Implies span recording for the event stream. ``None`` disables.
+    serve: str | int | None = None
     #: fault tolerance — how many times a failed/hung trial is retried
     #: before surrendering to the search algorithm's ``on_trial_error``.
     max_retries: int = 0
@@ -136,6 +141,10 @@ class OptimizerConf:
             raise ValidationError("trial_timeout_s must be > 0")
         if self.checkpoint_every < 1:
             raise ValidationError("checkpoint_every must be >= 1")
+        if self.serve is not None:
+            from repro.observability.live import parse_serve_spec
+
+            parse_serve_spec(self.serve)  # validate the spec early
         if self.faults:
             self.build_fault_injector()  # validate rates early
         if self.watchdog:

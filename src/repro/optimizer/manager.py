@@ -174,7 +174,8 @@ class OptimizationManager:
         from repro.observability.watchdog import set_watchdog
 
         watchdog = self.conf.build_watchdog()
-        observing = self.conf.observability or watchdog is not None
+        serving = self.conf.serve is not None
+        observing = self.conf.observability or watchdog is not None or serving
         if observing:
             observability.enable()
         if watchdog is not None:
@@ -185,14 +186,42 @@ class OptimizationManager:
             # objective baselines from the trials the searcher will replay.
             watchdog.load_state(archive.load_watchdog_state())
             watchdog.seed_from_trials(archive.load_checkpoint())
+        monitor = None
+        if serving:
+            # After set_watchdog: the monitor subscribes to whatever
+            # tracer/watchdog are installed when it starts.
+            from repro.observability.live import (
+                LiveMonitor,
+                StatusBoard,
+                set_status_board,
+            )
+
+            mode = (self.conf.objectives[0].get("mode", "min") or "min").lower()
+            set_status_board(
+                StatusBoard(
+                    name=self.conf.name,
+                    num_samples=self.conf.num_samples,
+                    mode=mode,
+                )
+            )
+            monitor = LiveMonitor.from_spec(
+                self.conf.serve, run_dir=self.run_dir, name=self.conf.name
+            )
+            monitor.start()
         try:
+            from repro.observability.live import get_status_board
+
+            board = get_status_board()
             tracer = get_tracer()
+            board.set_phase("optimize")
             with tracer.span("phase:optimize"):
                 summary = self.optimization.run()
             outcome = OptimizationOutcome(summary=summary)
             if self.conf.repeat > 0:
+                board.set_phase("validate")
                 with tracer.span("phase:validate", repeat=self.conf.repeat):
                     outcome = self.validate(summary.best_configuration, outcome=outcome)
+            board.set_phase("finished")
             return outcome
         finally:
             if observing:
@@ -201,6 +230,11 @@ class OptimizationManager:
                 try:
                     self.optimization.export_observability()
                 finally:
+                    if monitor is not None:
+                        from repro.observability.live import set_status_board
+
+                        monitor.stop()
+                        set_status_board(None)
                     if watchdog is not None:
                         watchdog.detach()
                         set_watchdog(None)

@@ -316,8 +316,10 @@ class StoreBackend(ExecutionBackend):
         the campaign is waiting for ``python -m repro worker`` joiners.
         """
         spawned = self._procs or self._popen
+        liveness = self.store.worker_liveness(state=state)
+        any_live = any(info["lease_state"] == "live" for info in liveness)
         if not spawned:
-            if not self._warned_no_workers and not state.live_leases():
+            if not self._warned_no_workers and not any_live:
                 self._warned_no_workers = True
                 warnings.warn(
                     "store backend has no local workers; waiting for "
@@ -329,7 +331,7 @@ class StoreBackend(ExecutionBackend):
         alive = any(p.is_alive() for p in self._procs) or any(
             p.poll() is None for p in self._popen
         )
-        if alive or state.live_leases():
+        if alive or any_live:
             self._dead_since = None
             return
         now = time.monotonic()

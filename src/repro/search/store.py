@@ -97,6 +97,22 @@ class StoreState:
     duplicate_done: int = 0
     #: ledger lines that failed to parse (torn tail from a crashed writer).
     torn_lines: int = 0
+    #: per-runner activity replayed from claim/heartbeat/done events:
+    #: ``runner_id -> {"last_seen_t", "claims", "done"}``. Release events
+    #: deliberately do not count — ``pick_trial`` appends them on behalf of
+    #: the *dead* runner whose lease it reclaims, so treating one as a
+    #: heartbeat would resurrect exactly the worker the store just buried.
+    runners: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def _runner_seen(self, runner_id: Any, t: Any) -> dict[str, Any]:
+        record = self.runners.setdefault(
+            str(runner_id), {"last_seen_t": 0.0, "claims": 0, "done": 0}
+        )
+        try:
+            record["last_seen_t"] = max(record["last_seen_t"], float(t))
+        except (TypeError, ValueError):
+            pass
+        return record
 
     def counts(self) -> dict[str, int]:
         out = {"queued": 0, "claimed": 0, "done": 0}
@@ -240,12 +256,17 @@ class TrialStore:
             if trial is None:
                 continue  # claim/done for an unknown trial: ignore
             if kind == "claim":
+                if event.get("runner_id") is not None:
+                    record = state._runner_seen(event["runner_id"], event.get("t", 0.0))
+                    record["claims"] += 1
                 if trial.status != "done":
                     trial.status = "claimed"
                     trial.runner_id = event.get("runner_id")
                     trial.lease_until = float(event.get("lease_until", 0.0))
                     trial.claims += 1
             elif kind == "heartbeat":
+                if event.get("runner_id") is not None:
+                    state._runner_seen(event["runner_id"], event.get("t", 0.0))
                 if trial.status == "claimed" and trial.runner_id == event.get("runner_id"):
                     trial.lease_until = max(
                         trial.lease_until, float(event.get("lease_until", 0.0))
@@ -256,14 +277,63 @@ class TrialStore:
                     trial.runner_id = None
                     trial.lease_until = 0.0
             elif kind == "done":
+                if event.get("runner_id") is not None:
+                    record = state._runner_seen(event["runner_id"], event.get("t", 0.0))
                 if trial.status == "done":
                     state.duplicate_done += 1  # first completion wins
                 else:
+                    if event.get("runner_id") is not None:
+                        record["done"] += 1
                     trial.status = "done"
                     trial.outcome = event.get("outcome")
                     trial.completed_by = event.get("runner_id")
         state.torn_lines = max(0, raw_lines - parsed)
         return state
+
+    def worker_liveness(
+        self, *, state: StoreState | None = None, now: float | None = None
+    ) -> list[dict[str, Any]]:
+        """Per-runner liveness derived from ledger heartbeat ages.
+
+        One record per runner ever seen in the ledger, sorted by id:
+        ``lease_state`` is ``"live"`` (holds at least one unexpired lease),
+        ``"expired"`` (holds claims but every lease lapsed — the worker is
+        presumed dead until a reclaim re-queues its trials) or ``"idle"``
+        (between claims, or finished). Consumers: ``GET /status`` worker
+        rows and the store backend's stall guard.
+        """
+        state = self.snapshot() if state is None else state
+        now = time.time() if now is None else now
+        held: dict[str, list[tuple[str, float]]] = {}
+        for tid in state.order:
+            trial = state.trials[tid]
+            if trial.status == "claimed" and trial.runner_id is not None:
+                held.setdefault(trial.runner_id, []).append((tid, trial.lease_until))
+        out = []
+        for runner_id in sorted(state.runners):
+            record = state.runners[runner_id]
+            leases = held.get(runner_id, [])
+            best_lease = max((until for _, until in leases), default=None)
+            if best_lease is None:
+                lease_state = "idle"
+            elif best_lease > now:
+                lease_state = "live"
+            else:
+                lease_state = "expired"
+            out.append(
+                {
+                    "runner_id": runner_id,
+                    "lease_state": lease_state,
+                    "last_seen_age_s": max(0.0, now - record["last_seen_t"]),
+                    "lease_remaining_s": (
+                        best_lease - now if best_lease is not None else None
+                    ),
+                    "active_trials": [tid for tid, _ in leases],
+                    "claims": record["claims"],
+                    "done": record["done"],
+                }
+            )
+        return out
 
     # -- producer API (the campaign parent) ---------------------------------------------
 

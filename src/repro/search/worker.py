@@ -79,6 +79,7 @@ def run_worker(
     idle_timeout_s: float | None = None,
     max_trials: int | None = None,
     on_trial: Any = None,
+    push: Any = None,
 ) -> int:
     """Process trials from ``store`` until the campaign closes.
 
@@ -86,7 +87,12 @@ def run_worker(
     store is closed and no work is claimable, after ``idle_timeout_s``
     seconds without claimable work, or after ``max_trials`` completions.
     ``on_trial(claim, outcome)`` is an optional observer hook (used by the
-    CLI for progress lines).
+    CLI for progress lines). ``push`` is an optional
+    :class:`~repro.observability.live.TelemetryPusher`: per-trial fabric
+    payloads then stream to the campaign's live monitor *mid-campaign*
+    (activating worker telemetry even when the parent is not observing);
+    a failed push falls back to embedding the payload in the ledger
+    outcome, so telemetry is never lost.
     """
     if not isinstance(store, TrialStore):
         store = TrialStore.open(store)
@@ -97,7 +103,7 @@ def run_worker(
     backoff_s = float(meta.get("retry_backoff_s", 0.0))
     timeout_s = meta.get("trial_timeout_s")
     timeout_s = None if timeout_s is None else float(timeout_s)
-    telemetry = bool(meta.get("telemetry", False))
+    telemetry = bool(meta.get("telemetry", False)) or push is not None
     if telemetry:
         fabric.activate_worker(str(meta.get("name", "experiment")))
     completed = 0
@@ -124,7 +130,7 @@ def run_worker(
         heartbeat = _Heartbeat(store, claim, lease)
         try:
             outcome = _execute_claim(
-                trainable, claim, max_retries, backoff_s, timeout_s, telemetry
+                trainable, claim, max_retries, backoff_s, timeout_s, telemetry, push
             )
         finally:
             heartbeat.stop()
@@ -142,6 +148,7 @@ def _execute_claim(
     backoff_s: float,
     timeout_s: float | None,
     telemetry: bool,
+    push: Any = None,
 ) -> dict[str, Any]:
     """Run one claimed trial and build its ledger outcome payload."""
     from repro.observability.digest import get_perf
@@ -161,7 +168,16 @@ def _execute_claim(
         evaluate_s = time.perf_counter() - start
         get_perf().record("evaluate", evaluate_s)
         outcome["evaluate_s"] = evaluate_s
-        outcome["telemetry"] = fabric.drain_worker()
+        payload = fabric.drain_worker()
+        pushed = False
+        if push is not None and payload is not None:
+            # Streamed to the live monitor: do not also embed the payload,
+            # or the parent would merge every span twice at drain time.
+            pushed = push.push(payload, attributes={"trial_id": claim.trial_id})
+        if pushed:
+            outcome["telemetry_pushed"] = True
+        else:
+            outcome["telemetry"] = payload
     # A reclaimed trial's measurement may overlap a zombie twin still
     # running elsewhere; flag it so the evaluation cache refuses admission.
     if claim.prior_claims:
