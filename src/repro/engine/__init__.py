@@ -41,7 +41,14 @@ from repro.engine.config import (
 )
 from repro.engine.tasks import TaskType
 from repro.engine.engine import IdentificationEngine, EngineRunResult, simulate_engine
-from repro.engine.analytic import AnalyticEngineModel, AnalyticResult
+from repro.engine.analytic import (
+    AnalyticEngineModel,
+    AnalyticResult,
+    OpenEpochResult,
+    SATURATION_RHO,
+)
+from repro.engine.schedule import ArrivalSchedule
+from repro.engine.hybrid import HybridEngine, HybridKnobs, HybridRunResult, simulate_hybrid
 from repro.engine.gpu import GpuModel
 from repro.engine.cpumodel import CpuContentionModel
 
@@ -57,6 +64,13 @@ __all__ = [
     "simulate_engine",
     "AnalyticEngineModel",
     "AnalyticResult",
+    "OpenEpochResult",
+    "SATURATION_RHO",
+    "ArrivalSchedule",
+    "HybridEngine",
+    "HybridKnobs",
+    "HybridRunResult",
+    "simulate_hybrid",
     "GpuModel",
     "CpuContentionModel",
 ]

@@ -37,18 +37,29 @@ from dataclasses import dataclass, field
 from repro.engine.config import EngineModelParams, ThreadPoolConfig
 from repro.engine.cpumodel import inflation_factor
 from repro.engine.gpu import GpuModel
+from repro.engine.schedule import ArrivalSchedule
 from repro.errors import ValidationError
 
-__all__ = ["AnalyticResult", "AnalyticEngineModel"]
+__all__ = ["AnalyticResult", "AnalyticEngineModel", "OpenEpochResult", "SATURATION_RHO"]
+
+#: utilization at which the Sakasegawa pole is clamped for numeric stability;
+#: any pool at or beyond it is reported as *saturated* rather than silently
+#: capped (see :attr:`AnalyticResult.saturated`).
+SATURATION_RHO = 0.999
 
 
 def _sakasegawa_wait(service_time: float, servers: int, utilization: float) -> float:
     """Approximate M/M/c mean waiting time (Sakasegawa, 1977).
 
     ``W ≈ t · ρ^(√(2(c+1)) − 1) / (c · (1 − ρ))`` — exact for M/M/1,
-    asymptotically correct in heavy traffic for M/M/c.
+    asymptotically correct in heavy traffic for M/M/c. Utilizations at or
+    above :data:`SATURATION_RHO` are clamped there so the pole stays
+    finite; callers surface that regime through the ``saturated`` flag on
+    their results instead of relying on the cap.
     """
-    rho = min(utilization, 0.999)
+    if servers < 1:
+        raise ValidationError(f"servers must be >= 1, got {servers}")
+    rho = min(utilization, SATURATION_RHO)
     if rho <= 0:
         return 0.0
     exponent = math.sqrt(2.0 * (servers + 1.0)) - 1.0
@@ -76,6 +87,45 @@ class AnalyticResult:
     gpu_memory_gb: float = 0.0
     iterations: int = 0
     converged: bool = True
+    #: True when a pool hit the Sakasegawa clamp (ρ ≥ 0.999) or CPU demand
+    #: reached the node's cores — the formulas are pinned at their pole, so
+    #: waits are lower bounds rather than point estimates.
+    saturated: bool = False
+
+
+@dataclass(frozen=True)
+class OpenEpochResult:
+    """One epoch of the open-loop (time-varying) fluid model.
+
+    Produced by :meth:`AnalyticEngineModel.evaluate_open` /
+    :meth:`AnalyticEngineModel.evaluate_schedule`. Unlike
+    :class:`AnalyticResult` the population is unbounded: demand beyond
+    the service :meth:`~AnalyticEngineModel.capacity` accumulates as
+    ``backlog`` (requests of un-served fluid) that drains in later epochs.
+    """
+
+    config: ThreadPoolConfig
+    #: offered arrival rate for this epoch (requests/s).
+    arrival_rate: float
+    #: served rate — ``min(arrival_rate + backlog/dt, capacity)``.
+    throughput: float
+    #: un-served fluid carried into the next epoch (requests).
+    backlog: float
+    #: Little's-law in-service concurrency at this throughput.
+    concurrency: float
+    service_time: float
+    #: mean response including backlog drain delay.
+    response_time: float
+    #: model-side p95 estimate (lognormal service tail; DES-calibrated
+    #: by the hybrid engine).
+    response_p95: float
+    cpu_usage: float
+    #: highest inner-pool utilization (download/extract/simsearch).
+    bottleneck_rho: float
+    #: True when offered demand reached capacity (backlog growth regime).
+    saturated: bool
+    #: epoch length (seconds); ``inf`` for a steady-state query.
+    dt: float = float("inf")
 
 
 class _State:
@@ -189,6 +239,7 @@ class AnalyticEngineModel:
         self.max_iterations = int(max_iterations)
         self.tolerance = float(tolerance)
         self._gpu = GpuModel(self.params)
+        self._capacity_cache: dict[ThreadPoolConfig, float] = {}
 
     def evaluate(
         self, config: ThreadPoolConfig, simultaneous_requests: int
@@ -260,8 +311,174 @@ class AnalyticEngineModel:
             gpu_memory_gb=self._gpu.memory_gb(config.extract),
             iterations=iterations,
             converged=converged,
+            saturated=(
+                max(s.rho_dl, s.rho_ex, s.rho_ss) >= SATURATION_RHO or s.ratio >= 1.0
+            ),
         )
 
     def response_time(self, config: ThreadPoolConfig, simultaneous_requests: int) -> float:
         """Shortcut returning only the user response time."""
         return self.evaluate(config, simultaneous_requests).user_response_time
+
+    # -- open-loop (time-varying) mode ----------------------------------------------
+
+    def capacity(self, config: ThreadPoolConfig) -> float:
+        """Maximum sustainable throughput (requests/s) of ``config``.
+
+        The open-loop service capacity equals the closed-loop fixed point
+        at a population of ``http`` — the HTTP pool bounds how many
+        requests can ever be in service, so offered load beyond this rate
+        accumulates as backlog instead of throughput.
+        """
+        cached = self._capacity_cache.get(config)
+        if cached is None:
+            cached = self.evaluate(config, config.http).throughput
+            self._capacity_cache[config] = cached
+        return cached
+
+    def evaluate_open(
+        self,
+        config: ThreadPoolConfig,
+        arrival_rate: float,
+        *,
+        backlog: float = 0.0,
+        dt: float = float("inf"),
+    ) -> OpenEpochResult:
+        """One fluid epoch of the open-loop model at ``arrival_rate``.
+
+        With the default infinite ``dt`` this is the steady state: the
+        system serves ``min(rate, capacity)`` and, when stable, responds
+        in the contention-inflated service time at that throughput. With a
+        finite ``dt`` it is one step of the epoch-stepped fluid model::
+
+            X       = min(rate + backlog/dt, capacity)
+            backlog'= max(0, backlog + (rate − X)·dt)
+            T       = t_service(X) + mean_backlog/X
+
+        which is how the fluid twin tracks a *changing* arrival rate:
+        throughput follows the schedule while the system is stable, and
+        around saturation the un-served fluid accumulates as backlog whose
+        drain delay is added to the response time (a fluid M/G/c view of
+        the queue the DES builds up request by request).
+        """
+        if not math.isfinite(arrival_rate) or arrival_rate < 0:
+            raise ValidationError(f"arrival_rate must be finite and >= 0, got {arrival_rate}")
+        if backlog < 0:
+            raise ValidationError(f"backlog must be >= 0, got {backlog}")
+        if dt <= 0:
+            raise ValidationError(f"dt must be positive, got {dt}")
+        p = self.params
+        cap = self.capacity(config)
+        demand = arrival_rate + (backlog / dt if math.isfinite(dt) else 0.0)
+        throughput = min(demand, cap)
+        if math.isfinite(dt):
+            new_backlog = max(0.0, backlog + (arrival_rate - throughput) * dt)
+        else:
+            new_backlog = 0.0 if arrival_rate <= cap else float("inf")
+        saturated = demand >= cap * 0.999999
+        if throughput <= 0.0:
+            t_idle = (
+                p.t_preprocess
+                + p.t_download
+                + p.t_extract_gpu
+                + p.t_extract_cpu
+                + p.t_process
+                + p.t_simsearch
+                + p.t_postprocess
+            )
+            return OpenEpochResult(
+                config=config,
+                arrival_rate=arrival_rate,
+                throughput=0.0,
+                backlog=new_backlog,
+                concurrency=0.0,
+                service_time=t_idle,
+                response_time=t_idle,
+                response_p95=t_idle * self._p95_factor(),
+                cpu_usage=min(
+                    1.0,
+                    (p.background_cores + p.extract_standby_cores * config.extract)
+                    / p.cpu_cores,
+                ),
+                bottleneck_rho=0.0,
+                saturated=False,
+                dt=dt,
+            )
+        s = _State(p, config, config.http, throughput)
+        mean_backlog = 0.5 * (backlog + new_backlog) if math.isfinite(new_backlog) else backlog
+        queue_delay = mean_backlog / throughput if mean_backlog > 0 else 0.0
+        response = s.t_service + queue_delay
+        return OpenEpochResult(
+            config=config,
+            arrival_rate=arrival_rate,
+            throughput=throughput,
+            backlog=new_backlog,
+            concurrency=throughput * s.t_service,
+            service_time=s.t_service,
+            response_time=response,
+            response_p95=response * self._p95_factor(),
+            cpu_usage=min(1.0, s.ratio),
+            bottleneck_rho=max(s.rho_dl, s.rho_ex, s.rho_ss),
+            saturated=saturated or max(s.rho_dl, s.rho_ex, s.rho_ss) >= SATURATION_RHO,
+            dt=dt,
+        )
+
+    def evaluate_schedule(
+        self,
+        config: ThreadPoolConfig,
+        schedule: ArrivalSchedule,
+        duration: float,
+        *,
+        epoch: float = 60.0,
+    ) -> list[OpenEpochResult]:
+        """Epoch-stepped fluid solution of a whole arrival schedule.
+
+        Splits ``[0, duration)`` into ``epoch``-sized steps aligned to the
+        schedule's rate breakpoints and chains :meth:`evaluate_open`
+        through them, carrying backlog forward — the pure-fluid twin of a
+        scheduled open-loop DES run (and the fluid half of the
+        :class:`~repro.engine.hybrid.HybridEngine`).
+        """
+        if epoch <= 0:
+            raise ValidationError(f"epoch must be positive, got {epoch}")
+        results: list[OpenEpochResult] = []
+        backlog = 0.0
+        for start, end, rate in iter_epochs(schedule, duration, epoch):
+            step = self.evaluate_open(config, rate, backlog=backlog, dt=end - start)
+            backlog = step.backlog
+            results.append(step)
+        return results
+
+    def _p95_factor(self) -> float:
+        """Model-side p95/mean response ratio from the lognormal service CV.
+
+        A deliberate first-order estimate (the per-stage noise is lognormal
+        with CV ``service_cv``; queueing variance is not modelled) — the
+        hybrid engine calibrates it against DES sampling windows.
+        """
+        cv = self.params.service_cv
+        if cv <= 0:
+            return 1.0
+        sigma = math.sqrt(math.log(1.0 + cv * cv))
+        return math.exp(1.6449 * sigma - 0.5 * sigma * sigma)
+
+
+def iter_epochs(
+    schedule: ArrivalSchedule, duration: float, epoch: float
+) -> list[tuple[float, float, float]]:
+    """Split ``[0, duration)`` into fluid epochs ``(start, end, rate)``.
+
+    Epoch boundaries fall on the ``epoch`` grid *and* on every schedule
+    breakpoint, so each returned span has one constant rate and no span is
+    longer than ``epoch`` seconds.
+    """
+    if epoch <= 0:
+        raise ValidationError(f"epoch must be positive, got {epoch}")
+    out: list[tuple[float, float, float]] = []
+    for start, end, rate in schedule.segments(duration):
+        t = start
+        while t < end:
+            t_next = min(end, t + epoch)
+            out.append((t, t_next, rate))
+            t = t_next
+    return out

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from dataclasses import dataclass, replace
 from typing import Any, Mapping
 
+from repro.engine.schedule import ArrivalSchedule
 from repro.errors import ValidationError
 
 __all__ = [
@@ -108,7 +111,13 @@ class WorkloadSpec:
       feature. ``simultaneous_requests`` must equal the schedule maximum;
     - **open loop**: ``arrival_rate`` requests/s arrive as a Poisson
       process, each client submits once (production-like traffic instead
-      of a saturation test).
+      of a saturation test);
+    - **scheduled open loop**: ``arrival_schedule`` drives the same
+      Poisson source with a time-varying rate — piecewise/diurnal curves,
+      flash-crowd ramps, or trace replay (see
+      :class:`~repro.engine.schedule.ArrivalSchedule`). A schedule with a
+      single constant segment is byte-identical to plain
+      ``arrival_rate``.
 
     Defaults follow the paper's measurement protocol: 23-minute runs
     (1380 s), metrics sampled every 10 s. ``warmup`` seconds are excluded
@@ -121,6 +130,7 @@ class WorkloadSpec:
     sample_interval: float = 10.0
     warmup: float = 60.0
     arrival_rate: float | None = None
+    arrival_schedule: ArrivalSchedule | None = None
     population_schedule: tuple[tuple[float, int], ...] | None = None
 
     def __post_init__(self) -> None:
@@ -133,10 +143,26 @@ class WorkloadSpec:
         if not 0 <= self.warmup < self.duration:
             raise ValidationError("warmup must be in [0, duration)")
         if self.arrival_rate is not None:
+            if not math.isfinite(self.arrival_rate):
+                raise ValidationError(
+                    f"arrival_rate must be finite, got {self.arrival_rate}"
+                )
             if self.arrival_rate <= 0:
                 raise ValidationError("arrival_rate must be positive")
+            if self.arrival_schedule is not None:
+                raise ValidationError("arrival_rate and arrival_schedule are exclusive")
             if self.population_schedule is not None:
                 raise ValidationError("arrival_rate and population_schedule are exclusive")
+        if self.arrival_schedule is not None:
+            if not isinstance(self.arrival_schedule, ArrivalSchedule):
+                raise ValidationError(
+                    "arrival_schedule must be an ArrivalSchedule, "
+                    f"got {self.arrival_schedule!r}"
+                )
+            if self.population_schedule is not None:
+                raise ValidationError(
+                    "arrival_schedule and population_schedule are exclusive"
+                )
         if self.population_schedule is not None:
             schedule = self.population_schedule
             if not schedule:
@@ -154,11 +180,12 @@ class WorkloadSpec:
                     "simultaneous_requests must equal the schedule maximum "
                     f"({max(populations)}), got {self.simultaneous_requests}"
                 )
+            object.__setattr__(self, "_schedule_times", tuple(times))
 
     @property
     def mode(self) -> str:
         """``closed`` | ``scheduled`` | ``open``."""
-        if self.arrival_rate is not None:
+        if self.arrival_rate is not None or self.arrival_schedule is not None:
             return "open"
         if self.population_schedule is not None:
             return "scheduled"
@@ -168,13 +195,16 @@ class WorkloadSpec:
         """Target closed-loop population at ``time`` (scheduled mode)."""
         if self.population_schedule is None:
             return self.simultaneous_requests
-        population = self.population_schedule[0][1]
-        for start, n in self.population_schedule:
-            if time >= start:
-                population = n
-            else:
-                break
-        return population
+        index = bisect_right(self._schedule_times, time) - 1  # type: ignore[attr-defined]
+        return self.population_schedule[max(0, index)][1]
+
+    def arrival_rate_at(self, time: float) -> float:
+        """Open-loop arrival rate in effect at ``time`` (0 when closed)."""
+        if self.arrival_rate is not None:
+            return self.arrival_rate
+        if self.arrival_schedule is not None and not self.arrival_schedule.is_trace:
+            return self.arrival_schedule.rate_at(time)
+        return 0.0
 
     @property
     def samples_per_run(self) -> int:

@@ -318,6 +318,74 @@ class IdentificationEngine:
                 if env.now >= duration:
                     return
 
+    def _trace_source(self) -> Generator[simcore.Event, None, None]:
+        """Replay an arrival trace verbatim (timestamps, no RNG draws)."""
+        env = self.env
+        duration = self.workload.duration
+        assert self.workload.arrival_schedule is not None
+        trace = self.workload.arrival_schedule.trace
+        assert trace is not None
+        for stamp in trace:
+            if stamp >= duration:
+                return
+            if stamp > env.now:
+                yield self._delay(stamp - env.now)
+            env.process(self._lifecycle(), name="request")
+
+    def _scheduled_source(self) -> Generator[simcore.Event, None, None]:
+        """Non-homogeneous Poisson arrivals following an ArrivalSchedule.
+
+        Within a segment, gaps are drawn in batches at the segment's rate
+        through the same calls as :meth:`_open_loop_source` — a schedule
+        with one constant segment is byte-identical to plain
+        ``arrival_rate`` mode. At a segment boundary the residual of the
+        gap in flight is rescaled by the old/new rate ratio (memoryless
+        rescaling), which makes the piecewise process an exact NHPP;
+        undrawn gaps of the batch are discarded so every segment samples
+        at its own scale.
+        """
+        env = self.env
+        duration = self.workload.duration
+        assert self.workload.arrival_schedule is not None
+        segments = self.workload.arrival_schedule.segments(duration)
+        rng = spawn_rng(derive_seed(self.seed, "arrivals"))
+        index = 0
+        carry = 0.0  # unit-exponential work left over from a boundary crossing
+        while env.now < duration and index < len(segments):
+            _, end, rate = segments[index]
+            if rate <= 0.0:
+                # idle segment: no arrivals, the pending work is preserved
+                if end >= duration:
+                    return
+                yield self._delay(end - env.now)
+                index += 1
+                continue
+            if carry > 0.0:
+                gap = carry / rate
+                carry = 0.0
+                if env.now + gap >= end and end < duration:
+                    carry = (env.now + gap - end) * rate
+                    yield self._delay(end - env.now)
+                    index += 1
+                    continue
+                yield self._delay(gap)
+                env.process(self._lifecycle(), name="request")
+                if env.now >= duration:
+                    return
+                continue
+            scale = 1.0 / rate
+            for gap in rng.exponential(scale, size=_ARRIVAL_BATCH):
+                gap = float(gap)
+                if env.now + gap >= end and end < duration:
+                    carry = (env.now + gap - end) * rate
+                    yield self._delay(end - env.now)
+                    index += 1
+                    break
+                yield self._delay(gap)
+                env.process(self._lifecycle(), name="request")
+                if env.now >= duration:
+                    return
+
     # -- monitoring ------------------------------------------------------------------------
 
     def _monitor(self) -> Generator[simcore.Event, None, None]:
@@ -402,7 +470,13 @@ class IdentificationEngine:
         self._parked: dict[int, simcore.Event] = {}
         if workload.mode == "open":
             self._allowed_population = 0
-            env.process(self._open_loop_source(), name="arrivals")
+            if workload.arrival_schedule is None:
+                source = self._open_loop_source()
+            elif workload.arrival_schedule.is_trace:
+                source = self._trace_source()
+            else:
+                source = self._scheduled_source()
+            env.process(source, name="arrivals")
         else:
             self._allowed_population = workload.population_at(0.0)
             for index in range(workload.simultaneous_requests):

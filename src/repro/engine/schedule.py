@@ -1,0 +1,265 @@
+"""Arrival-rate schedules for open-loop workloads.
+
+The paper's protocol is a closed loop of N simultaneous clients — a
+saturation test. Internet-scale services instead see *open-loop* demand
+whose intensity varies over time: diurnal curves, spring campaign peaks
+(paper Fig. 2), flash crowds when a species trends, and recorded
+production traces. :class:`ArrivalSchedule` describes that demand as
+either
+
+- a **piecewise-constant rate curve** — tuples ``(start, rate)`` in
+  requests/s, covering ``[0, ∞)``; the constructors
+  :meth:`ArrivalSchedule.constant`, :meth:`ArrivalSchedule.piecewise`,
+  :meth:`ArrivalSchedule.diurnal` and :meth:`ArrivalSchedule.flash_crowd`
+  all build this form, or
+- a **trace replay** — explicit arrival timestamps
+  (:meth:`ArrivalSchedule.from_trace`, optionally loaded from a file of
+  one timestamp per line), replayed verbatim.
+
+Rate-curve schedules drive the engine's batched Poisson source on the
+dedicated ``derive_seed(seed, "arrivals")`` stream: within a segment,
+inter-arrival gaps are drawn in batches exactly as for a plain
+``arrival_rate`` (a single constant segment is therefore byte-identical
+to plain open-loop mode), and at a segment boundary the residual gap is
+rescaled by the old/new rate ratio — the memoryless-rescaling
+construction of an exact non-homogeneous Poisson process.
+
+The same segment view feeds the fluid side: the epoch-stepped analytic
+model and the :class:`~repro.engine.hybrid.HybridEngine` iterate
+:meth:`segments` to track the changing rate without simulating events.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import ValidationError
+
+__all__ = ["ArrivalSchedule"]
+
+#: number of piecewise steps a continuous (diurnal) curve is discretized to.
+_DIURNAL_STEPS = 96
+
+
+def _check_rate(rate: float, where: str) -> float:
+    rate = float(rate)
+    if not math.isfinite(rate) or rate < 0:
+        raise ValidationError(f"{where} must be finite and >= 0, got {rate}")
+    return rate
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """A time-varying open-loop demand description (see module docstring).
+
+    Exactly one of :attr:`points` (piecewise-constant ``(start, rate)``
+    steps) or :attr:`trace` (explicit arrival timestamps) is set. Use the
+    classmethod constructors rather than ``__init__`` directly.
+    """
+
+    #: piecewise-constant steps ``((t0, r0), (t1, r1), ...)``, t0 == 0.
+    points: tuple[tuple[float, float], ...] | None = None
+    #: explicit arrival timestamps (trace replay), non-decreasing.
+    trace: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if (self.points is None) == (self.trace is None):
+            raise ValidationError(
+                "exactly one of points/trace must be set "
+                "(use the ArrivalSchedule constructors)"
+            )
+        if self.points is not None:
+            if not self.points:
+                raise ValidationError("schedule must have at least one segment")
+            times = [float(t) for t, _ in self.points]
+            if any(not math.isfinite(t) for t in times):
+                raise ValidationError("segment times must be finite")
+            if times != sorted(times) or len(set(times)) != len(times):
+                raise ValidationError("segment times must be strictly increasing")
+            if times[0] != 0.0:
+                raise ValidationError("schedule must start at t=0")
+            rates = [_check_rate(r, "segment rate") for _, r in self.points]
+            if not any(rates):
+                raise ValidationError("schedule must have at least one positive rate")
+            object.__setattr__(
+                self, "points", tuple((t, r) for t, r in zip(times, rates))
+            )
+            object.__setattr__(self, "_times", tuple(times))
+        if self.trace is not None:
+            stamps = tuple(float(t) for t in self.trace)
+            if not stamps:
+                raise ValidationError("trace must contain at least one arrival")
+            if any(not math.isfinite(t) or t < 0 for t in stamps):
+                raise ValidationError("trace timestamps must be finite and >= 0")
+            if any(b < a for a, b in zip(stamps, stamps[1:])):
+                raise ValidationError("trace timestamps must be non-decreasing")
+            object.__setattr__(self, "trace", stamps)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def constant(cls, rate: float) -> "ArrivalSchedule":
+        """A fixed ``rate`` (requests/s) — equivalent to plain ``arrival_rate``."""
+        if _check_rate(rate, "rate") <= 0:
+            raise ValidationError("constant rate must be positive")
+        return cls(points=((0.0, float(rate)),))
+
+    @classmethod
+    def piecewise(cls, points: Iterable[tuple[float, float]]) -> "ArrivalSchedule":
+        """Piecewise-constant steps ``[(t0, rate0), (t1, rate1), ...]``."""
+        return cls(points=tuple((float(t), float(r)) for t, r in points))
+
+    @classmethod
+    def diurnal(
+        cls,
+        base_rate: float,
+        peak_rate: float,
+        *,
+        period: float = 86400.0,
+        peak_time: float = 0.58,
+        steps: int = _DIURNAL_STEPS,
+    ) -> "ArrivalSchedule":
+        """A day/night sinusoid between ``base_rate`` and ``peak_rate``.
+
+        ``peak_time`` places the peak as a fraction of the period (0.58 ≈
+        14:00 for a midnight-anchored day). The curve repeats every
+        ``period`` and is discretized into ``steps`` piecewise-constant
+        segments per period — the same epochs the fluid model steps.
+        """
+        base = _check_rate(base_rate, "base_rate")
+        peak = _check_rate(peak_rate, "peak_rate")
+        if peak < base:
+            raise ValidationError("peak_rate must be >= base_rate")
+        if period <= 0 or not math.isfinite(period):
+            raise ValidationError("period must be positive and finite")
+        if steps < 2:
+            raise ValidationError("steps must be >= 2")
+        mid = 0.5 * (base + peak)
+        amp = 0.5 * (peak - base)
+        points = []
+        for i in range(int(steps)):
+            t = i / steps
+            # segment rate at its midpoint, so the discretization is unbiased
+            phase = 2.0 * math.pi * ((t + 0.5 / steps) - peak_time)
+            points.append((t * period, mid + amp * math.cos(phase)))
+        return cls(points=tuple(points))
+
+    @classmethod
+    def flash_crowd(
+        cls,
+        base_rate: float,
+        peak_rate: float,
+        *,
+        at: float,
+        ramp: float = 60.0,
+        hold: float = 300.0,
+        decay: float = 600.0,
+        steps: int = 8,
+    ) -> "ArrivalSchedule":
+        """A flash crowd: ramp from ``base_rate`` to ``peak_rate`` at ``at``,
+        hold, then decay back — each ramp discretized into ``steps``."""
+        base = _check_rate(base_rate, "base_rate")
+        peak = _check_rate(peak_rate, "peak_rate")
+        if peak <= base:
+            raise ValidationError("peak_rate must exceed base_rate")
+        if at < 0 or ramp <= 0 or hold < 0 or decay <= 0:
+            raise ValidationError("flash-crowd times must be positive (at >= 0)")
+        if steps < 1:
+            raise ValidationError("steps must be >= 1")
+        points: list[tuple[float, float]] = [(0.0, base)] if at > 0 else []
+        for i in range(int(steps)):  # linear ramp up, midpoint-sampled
+            frac = (i + 0.5) / steps
+            points.append((at + ramp * i / steps, base + (peak - base) * frac))
+        points.append((at + ramp, peak))
+        for i in range(int(steps)):  # linear decay down
+            frac = 1.0 - (i + 0.5) / steps
+            points.append((at + ramp + hold + decay * i / steps, base + (peak - base) * frac))
+        points.append((at + ramp + hold + decay, base))
+        return cls(points=tuple(points))
+
+    @classmethod
+    def from_trace(cls, source: str | Path | Sequence[float]) -> "ArrivalSchedule":
+        """Trace replay from timestamps (or a file of one timestamp per line).
+
+        Blank lines and ``#`` comments are skipped when reading a file.
+        """
+        if isinstance(source, (str, Path)):
+            stamps = []
+            for line_no, line in enumerate(Path(source).read_text().splitlines(), 1):
+                text = line.split("#", 1)[0].strip()
+                if not text:
+                    continue
+                try:
+                    stamps.append(float(text))
+                except ValueError:
+                    raise ValidationError(
+                        f"{source}:{line_no}: not a timestamp: {text!r}"
+                    ) from None
+            return cls(trace=tuple(stamps))
+        return cls(trace=tuple(float(t) for t in source))
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def is_trace(self) -> bool:
+        return self.trace is not None
+
+    def rate_at(self, time: float) -> float:
+        """Arrival rate (requests/s) in effect at ``time`` (O(log n))."""
+        if self.points is None:
+            raise ValidationError("trace schedules have no rate curve")
+        index = bisect_right(self._times, time) - 1  # type: ignore[attr-defined]
+        return self.points[max(0, index)][1]
+
+    def segments(self, duration: float) -> tuple[tuple[float, float, float], ...]:
+        """Piecewise-constant ``(start, end, rate)`` spans covering
+        ``[0, duration)`` — the epochs the fluid model and the arrival
+        source step through. Trace schedules have no segment view."""
+        if self.points is None:
+            raise ValidationError("trace schedules have no rate curve")
+        if duration <= 0:
+            raise ValidationError("duration must be positive")
+        out: list[tuple[float, float, float]] = []
+        for i, (start, rate) in enumerate(self.points):
+            if start >= duration:
+                break
+            end = self.points[i + 1][0] if i + 1 < len(self.points) else duration
+            out.append((start, min(end, duration), rate))
+        return tuple(out)
+
+    def arrivals_in(self, duration: float) -> float:
+        """Expected arrivals over ``[0, duration)`` (exact for traces)."""
+        if self.trace is not None:
+            return float(sum(1 for t in self.trace if t < duration))
+        return sum((end - start) * rate for start, end, rate in self.segments(duration))
+
+    def mean_rate(self, duration: float) -> float:
+        """Time-averaged arrival rate over ``[0, duration)``."""
+        if duration <= 0:
+            raise ValidationError("duration must be positive")
+        return self.arrivals_in(duration) / duration
+
+    def peak_rate(self, duration: float) -> float:
+        """Highest segment rate over ``[0, duration)`` (trace: mean rate)."""
+        if self.trace is not None:
+            return self.mean_rate(duration)
+        return max(rate for _, _, rate in self.segments(duration))
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        if self.trace is not None:
+            return {"trace": list(self.trace)}
+        return {"points": [[t, r] for t, r in self.points or ()]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArrivalSchedule":
+        if "trace" in data:
+            return cls.from_trace(list(data["trace"]))
+        if "points" in data:
+            return cls.piecewise([(p[0], p[1]) for p in data["points"]])
+        raise ValidationError("arrival schedule dict needs 'points' or 'trace'")

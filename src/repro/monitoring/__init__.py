@@ -8,10 +8,20 @@ simulator produces those series natively
 - :class:`MetricCollector` — a generic sampler that polls user-provided
   probes inside a simulation environment (for custom services),
 - :class:`RepetitionAggregate` — pooling of repeated experiment runs into
-  the paper's ``mean (± std)`` over all samples (e.g. 7 × 138 = 966).
+  the paper's ``mean (± std)`` over all samples (e.g. 7 × 138 = 966),
+- :class:`HybridAggregator` — mode-aware pooling of hybrid fluid/DES
+  epochs (empirical DES windows + parametric fluid epochs).
 """
 
 from repro.monitoring.collector import MetricCollector, Probe
 from repro.monitoring.aggregate import RepetitionAggregate, aggregate_runs
+from repro.monitoring.hybrid import EpochSample, HybridAggregator
 
-__all__ = ["MetricCollector", "Probe", "RepetitionAggregate", "aggregate_runs"]
+__all__ = [
+    "MetricCollector",
+    "Probe",
+    "RepetitionAggregate",
+    "aggregate_runs",
+    "EpochSample",
+    "HybridAggregator",
+]

@@ -80,6 +80,14 @@ class UserGrowthModel:
         rates = np.array([self.expected_rate(float(d)) for d in days])
         return float(rates.max() / rates.min())
 
+    def cumulative_users(self, day: float) -> float:
+        """Total registered users by ``day`` (integral of the growth curve)."""
+        # integrate expected_rate from 0..day (trapezoid, coarse 1-day grid)
+        days = np.arange(0.0, max(day, 1.0))
+        if len(days) < 2:
+            return 0.0
+        return float(np.trapezoid([self.expected_rate(d) for d in days], days))
+
     def expected_simultaneous_requests(
         self, day: float, *, requests_per_user_per_day: float = 0.04, mean_response_s: float = 3.0
     ) -> float:
@@ -89,8 +97,43 @@ class UserGrowthModel:
         spread over the day gives arrivals/s; times the mean response time
         gives the expected simultaneous requests in the engine.
         """
-        # integrate expected_rate from 0..day (trapezoid, coarse 1-day grid)
-        days = np.arange(0.0, max(day, 1.0))
-        cumulative = float(np.trapezoid([self.expected_rate(d) for d in days], days)) if len(days) > 1 else 0.0
-        arrivals_per_s = cumulative * requests_per_user_per_day / 86400.0
+        arrivals_per_s = self.cumulative_users(day) * requests_per_user_per_day / 86400.0
         return arrivals_per_s * mean_response_s
+
+    def arrival_schedule(
+        self,
+        day: float | None = None,
+        *,
+        users: float | None = None,
+        requests_per_user_per_day: float = 0.04,
+        diurnal_ratio: float = 3.0,
+        period: float = 86400.0,
+        steps: int = 96,
+    ):
+        """One day of open-loop demand as an arrival-rate schedule.
+
+        The growth model gives the *user base* (either at growth day
+        ``day``, or an explicit ``users`` count — exactly one of the two);
+        the bridge to engine load is the same daily request rate used by
+        :meth:`expected_simultaneous_requests`, but distributed over the
+        day as a diurnal curve whose peak-to-trough ratio is
+        ``diurnal_ratio`` and whose *mean* matches the user base — the
+        open-loop counterpart of the closed-loop capacity-planning number.
+        """
+        from repro.engine.schedule import ArrivalSchedule
+
+        if (day is None) == (users is None):
+            raise ValidationError("pass exactly one of day/users")
+        if users is None:
+            assert day is not None
+            users = self.cumulative_users(day)
+        if users <= 0:
+            raise ValidationError(f"user base must be positive, got {users}")
+        if diurnal_ratio < 1.0:
+            raise ValidationError(f"diurnal_ratio must be >= 1, got {diurnal_ratio}")
+        mean_rate = users * requests_per_user_per_day / 86400.0
+        # diurnal mean is (base + peak) / 2; preserve it under the ratio.
+        base = 2.0 * mean_rate / (1.0 + diurnal_ratio)
+        return ArrivalSchedule.diurnal(
+            base, base * diurnal_ratio, period=period, steps=steps
+        )

@@ -26,7 +26,10 @@ from typing import Any
 
 from repro.engine.config import EngineModelParams, ThreadPoolConfig, WorkloadSpec
 from repro.engine.engine import IdentificationEngine
+from repro.engine.hybrid import HybridEngine, HybridKnobs
 from repro.engine.metrics import EngineRunResult
+from repro.engine.schedule import ArrivalSchedule
+from repro.errors import ValidationError
 from repro.monitoring.aggregate import RepetitionAggregate, aggregate_runs
 from repro.services.layers import Layer, LayerMapping, ScenarioDefinition
 from repro.testbed.catalog import grid5000
@@ -93,6 +96,9 @@ class PlantNetScenario:
         use_testbed: bool = True,
         warm_reuse: bool = True,
         fast_lane: bool = True,
+        arrival_schedule: ArrivalSchedule | None = None,
+        engine_mode: str = "des",
+        hybrid_knobs: HybridKnobs | None = None,
     ) -> None:
         self.params = params or EngineModelParams()
         self.duration = float(duration)
@@ -107,6 +113,21 @@ class PlantNetScenario:
         self.warm_reuse = bool(warm_reuse)
         #: forwarded to the engine DES (plain-delay fast lane).
         self.fast_lane = bool(fast_lane)
+        #: open-loop demand curve: when set, runs replace the paper's
+        #: closed-loop population with this schedule (e.g. from
+        #: :meth:`repro.plantnet.growth.UserGrowthModel.arrival_schedule`).
+        self.arrival_schedule = arrival_schedule
+        #: ``"des"`` (exact, every request simulated) or ``"hybrid"``
+        #: (fluid fast-forwarding with DES sampling windows; open-loop
+        #: schedules only).
+        if engine_mode not in ("des", "hybrid"):
+            raise ValidationError(
+                f"engine_mode must be 'des' or 'hybrid', got {engine_mode!r}"
+            )
+        if engine_mode == "hybrid" and arrival_schedule is None:
+            raise ValidationError("engine_mode='hybrid' needs an arrival_schedule")
+        self.engine_mode = engine_mode
+        self.hybrid_knobs = hybrid_knobs
         self._warm: dict[int, dict[str, Any]] = {}
         self._warm_lock = threading.Lock()
 
@@ -243,7 +264,7 @@ class PlantNetScenario:
         change *how* a trial runs, not *what* it measures (the fast lane
         is byte-identical by construction).
         """
-        return {
+        out: dict[str, Any] = {
             "params": self.params.to_dict(),
             "duration": self.duration,
             "warmup": self.warmup,
@@ -251,6 +272,21 @@ class PlantNetScenario:
             "repetitions": self.repetitions,
             "base_seed": self.base_seed,
         }
+        # Open-loop/hybrid runs measure something different from the
+        # closed-loop default (and the hybrid is an approximation), so
+        # both must split the cache key.
+        if self.arrival_schedule is not None:
+            out["arrival_schedule"] = self.arrival_schedule.to_dict()
+        if self.engine_mode != "des":
+            out["engine_mode"] = self.engine_mode
+            knobs = self.hybrid_knobs or HybridKnobs()
+            out["hybrid_knobs"] = {
+                "epoch": knobs.epoch,
+                "sample_every": knobs.sample_every,
+                "window": knobs.window,
+                "error_bound": knobs.error_bound,
+            }
+        return out
 
     def close(self) -> None:
         """Tear down any warm deployments and release their reservations."""
@@ -289,21 +325,42 @@ class PlantNetScenario:
 
         runs: list[EngineRunResult] = []
         for repetition in range(reps):
-            workload = WorkloadSpec(
-                simultaneous_requests=simultaneous_requests,
-                duration=duration,
-                sample_interval=self.sample_interval,
-                warmup=self.warmup,
-            )
-            engine = IdentificationEngine(
-                config,
-                workload,
-                self.params,
-                seed=derive_seed(base_seed, "plantnet", repetition),
-                client_path=client_path,
-                fast_lane=self.fast_lane,
-            )
-            runs.append(engine.run())
+            seed_rep = derive_seed(base_seed, "plantnet", repetition)
+            if self.arrival_schedule is not None:
+                workload = WorkloadSpec(
+                    arrival_schedule=self.arrival_schedule,
+                    duration=duration,
+                    sample_interval=self.sample_interval,
+                    warmup=self.warmup,
+                )
+            else:
+                workload = WorkloadSpec(
+                    simultaneous_requests=simultaneous_requests,
+                    duration=duration,
+                    sample_interval=self.sample_interval,
+                    warmup=self.warmup,
+                )
+            if self.engine_mode == "hybrid":
+                runs.append(
+                    HybridEngine(
+                        config,
+                        workload,
+                        self.params,
+                        knobs=self.hybrid_knobs,
+                        seed=seed_rep,
+                        fast_lane=self.fast_lane,
+                    ).run()
+                )
+            else:
+                engine = IdentificationEngine(
+                    config,
+                    workload,
+                    self.params,
+                    seed=seed_rep,
+                    client_path=client_path,
+                    fast_lane=self.fast_lane,
+                )
+                runs.append(engine.run())
 
         return ScenarioResult(
             config=config,

@@ -159,6 +159,33 @@ class Environment:
         """Time of the next scheduled event, or ``inf`` when none remain."""
         return self._queue[0][0] if self._queue else float("inf")
 
+    def fast_forward(self, delta: float) -> None:
+        """Jump the clock forward by ``delta`` without processing events.
+
+        Every pending event is shifted by the same ``delta``, so relative
+        timing — and therefore the heap order, which compares ``(time,
+        priority, sequence)`` — is preserved exactly; the list is rebuilt
+        in place with no re-heapify. This is the epoch checkpoint/restart
+        primitive of the hybrid engine: the DES state (processes, pending
+        events, resource queues) is frozen as-is while the fluid model
+        covers the skipped span, then the loop resumes as if the span had
+        been simulated.
+
+        Absolute-time integrals (resource/CPU utilization accounting)
+        accumulate their pre-jump rates over the skipped span; callers
+        that need windowed statistics should snapshot *after* the jump.
+        """
+        if not math.isfinite(delta) or delta < 0:
+            raise ValueError(f"delta must be finite and >= 0, got {delta}")
+        if delta == 0:
+            return
+        self._now += delta
+        if self._queue:
+            self._queue[:] = [
+                (time + delta, priority, eid, event)
+                for time, priority, eid, event in self._queue
+            ]
+
     def step(self) -> None:
         """Process the next event; advance the clock to its time."""
         try:

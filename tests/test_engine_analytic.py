@@ -115,3 +115,114 @@ class TestSpeed:
         simulate_engine(BASELINE_CONFIG, 80, duration=200.0, warmup=40.0, seed=1)
         des_time = time.perf_counter() - t0
         assert analytic_time / 20 < des_time / 10  # conservatively ≥10×
+
+
+class TestSaturationFlag:
+    def test_sakasegawa_rejects_missing_servers(self):
+        from repro.engine.analytic import _sakasegawa_wait
+
+        with pytest.raises(ValidationError, match="servers"):
+            _sakasegawa_wait(1.0, 0, 0.5)
+
+    def test_sakasegawa_finite_near_saturation(self):
+        from repro.engine.analytic import _sakasegawa_wait
+
+        wait = _sakasegawa_wait(1.0, 4, 0.99999)
+        assert wait > 0 and pytest.approx(wait) != float("inf")
+
+    def test_light_load_not_saturated(self, model):
+        assert model.evaluate(BASELINE_CONFIG, 10).saturated is False
+
+    def test_cpu_overcommit_saturates(self, model):
+        # an oversized extract pool pins CPU demand at the node's cores
+        result = model.evaluate(ThreadPoolConfig(100, 100, 30, 100), 100)
+        assert result.saturated is True
+        assert result.cpu_usage == 1.0
+
+
+class TestOpenLoopModel:
+    def test_capacity_positive_and_cached(self, model):
+        cap = model.capacity(BASELINE_CONFIG)
+        assert cap > 0
+        assert model.capacity(BASELINE_CONFIG) == cap
+        assert BASELINE_CONFIG in model._capacity_cache
+
+    def test_stable_epoch_serves_offered_rate(self, model):
+        cap = model.capacity(BASELINE_CONFIG)
+        result = model.evaluate_open(BASELINE_CONFIG, cap * 0.5)
+        assert result.throughput == pytest.approx(cap * 0.5)
+        assert result.backlog == 0.0
+        assert result.saturated is False
+        assert result.response_time >= result.service_time
+        assert result.response_p95 > result.response_time
+
+    def test_overload_accumulates_backlog(self, model):
+        cap = model.capacity(BASELINE_CONFIG)
+        result = model.evaluate_open(BASELINE_CONFIG, cap * 1.5, dt=60.0)
+        assert result.throughput == pytest.approx(cap)
+        assert result.backlog == pytest.approx(cap * 0.5 * 60.0)
+        assert result.saturated is True
+
+    def test_backlog_drains_when_load_drops(self, model):
+        cap = model.capacity(BASELINE_CONFIG)
+        overload = model.evaluate_open(BASELINE_CONFIG, cap * 1.2, dt=60.0)
+        recovery = model.evaluate_open(
+            BASELINE_CONFIG, cap * 0.3, backlog=overload.backlog, dt=60.0
+        )
+        assert recovery.backlog < overload.backlog
+        # drain delay shows up in the response time
+        calm = model.evaluate_open(BASELINE_CONFIG, cap * 0.3, dt=60.0)
+        assert recovery.response_time > calm.response_time
+
+    def test_zero_rate_epoch_is_idle(self, model):
+        result = model.evaluate_open(BASELINE_CONFIG, 0.0, dt=60.0)
+        assert result.throughput == 0.0
+        assert result.backlog == 0.0
+        assert result.response_time > 0
+
+    def test_validation(self, model):
+        with pytest.raises(ValidationError):
+            model.evaluate_open(BASELINE_CONFIG, float("nan"))
+        with pytest.raises(ValidationError):
+            model.evaluate_open(BASELINE_CONFIG, -1.0)
+        with pytest.raises(ValidationError):
+            model.evaluate_open(BASELINE_CONFIG, 1.0, backlog=-1.0)
+        with pytest.raises(ValidationError):
+            model.evaluate_open(BASELINE_CONFIG, 1.0, dt=0.0)
+
+
+class TestEvaluateSchedule:
+    def test_epoch_grid_and_breakpoints(self):
+        from repro.engine import ArrivalSchedule
+        from repro.engine.analytic import iter_epochs
+
+        sched = ArrivalSchedule.piecewise([(0.0, 2.0), (90.0, 5.0)])
+        epochs = iter_epochs(sched, 200.0, 60.0)
+        assert epochs == [
+            (0.0, 60.0, 2.0),
+            (60.0, 90.0, 2.0),
+            (90.0, 150.0, 5.0),
+            (150.0, 200.0, 5.0),
+        ]
+
+    def test_throughput_tracks_rate_when_stable(self, model):
+        from repro.engine import ArrivalSchedule
+
+        sched = ArrivalSchedule.diurnal(4.0, 12.0, period=3600.0)
+        steps = model.evaluate_schedule(BASELINE_CONFIG, sched, 3600.0, epoch=300.0)
+        assert len(steps) > 0
+        for step in steps:
+            assert step.throughput == pytest.approx(step.arrival_rate)
+            assert step.backlog == 0.0
+
+    def test_overload_epochs_carry_backlog(self, model):
+        from repro.engine import ArrivalSchedule
+
+        cap = model.capacity(BASELINE_CONFIG)
+        sched = ArrivalSchedule.piecewise(
+            [(0.0, cap * 0.5), (300.0, cap * 2.0), (600.0, cap * 0.5)]
+        )
+        steps = model.evaluate_schedule(BASELINE_CONFIG, sched, 900.0, epoch=300.0)
+        assert steps[1].saturated and steps[1].backlog > 0
+        # recovery epoch still works through the inherited backlog
+        assert steps[2].response_time > steps[0].response_time

@@ -1,0 +1,204 @@
+"""Tests for the hybrid fluid/DES engine and its epoch aggregator."""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    BASELINE_CONFIG,
+    ArrivalSchedule,
+    HybridEngine,
+    HybridKnobs,
+    HybridRunResult,
+    WorkloadSpec,
+    simulate_hybrid,
+)
+from repro.errors import ValidationError
+from repro.monitoring import EpochSample, HybridAggregator
+
+#: small diurnal day: cheap to run, still exercises regime changes and
+#: several sampling windows.
+SCHEDULE = ArrivalSchedule.diurnal(4.0, 12.0, period=3600.0, steps=24)
+DURATION = 3600.0
+
+
+@pytest.fixture(scope="module")
+def result() -> HybridRunResult:
+    return simulate_hybrid(BASELINE_CONFIG, SCHEDULE, duration=DURATION, seed=3)
+
+
+class TestKnobs:
+    def test_defaults_valid(self):
+        HybridKnobs()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epoch": 0.0},
+            {"epoch": float("inf")},
+            {"sample_every": 0},
+            {"window": 0.0},
+            {"window_warmup": -1.0},
+            {"error_bound": 0.0},
+            {"error_bound": 1.0},
+            {"regime_threshold": 0.0},
+            {"correction_alpha": 0.0},
+            {"correction_alpha": 1.5},
+            {"prime_cap": -1.0},
+            {"drain_grace": -1.0},
+            {"noise_allowance": -0.5},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValidationError):
+            HybridKnobs(**kwargs)
+
+
+class TestHybridEngine:
+    def test_requires_open_loop(self):
+        with pytest.raises(ValidationError, match="open-loop"):
+            HybridEngine(BASELINE_CONFIG, WorkloadSpec(simultaneous_requests=40))
+
+    def test_rejects_trace_schedules(self):
+        workload = WorkloadSpec(
+            duration=100.0,
+            warmup=0.0,
+            arrival_schedule=ArrivalSchedule.from_trace([1.0, 2.0]),
+        )
+        with pytest.raises(ValidationError, match="trace"):
+            HybridEngine(BASELINE_CONFIG, workload)
+
+    def test_wraps_plain_arrival_rate(self):
+        workload = WorkloadSpec(duration=1200.0, warmup=0.0, arrival_rate=6.0)
+        engine = HybridEngine(BASELINE_CONFIG, workload, seed=5)
+        assert engine.schedule.rate_at(0.0) == 6.0
+        run = engine.run()
+        assert run.throughput == pytest.approx(6.0, rel=0.1)
+
+    def test_epoch_accounting(self, result):
+        assert result.fluid_epochs + result.des_epochs == len(result.epochs)
+        assert result.des_epochs >= 1  # at least the startup window
+        assert result.fluid_epochs > result.des_epochs  # fluid dominates
+        assert 0.0 < result.des_time_fraction < 1.0
+        modes = {sample.mode for sample in result.epochs}
+        assert modes == {"fluid", "des"}
+
+    def test_error_accounting_within_bound(self, result):
+        assert len(result.window_errors) == result.des_epochs
+        assert result.max_window_error >= result.mean_window_error >= 0.0
+        assert result.within_bound
+        assert result.error_throughput_bias <= result.error_bound
+        assert result.error_p95_bias <= result.error_bound
+        assert result.error_throughput_noise > 0.0
+        assert result.error_p95_noise > result.error_throughput_noise
+
+    def test_low_rate_bias_noise_floor(self):
+        """At ~1.5-4 req/s a window completes only ~30-80 requests, so the
+        run-level bias estimate is itself noise-limited; the noise floor
+        debit must keep such runs from being flagged as out of bound."""
+        sched = ArrivalSchedule.diurnal(1.5, 4.5, period=7200.0, steps=24)
+        run = simulate_hybrid(BASELINE_CONFIG, sched, duration=7200.0, seed=1)
+        assert run.within_bound
+        assert run.error_throughput_noise > 0.02  # genuinely noise-limited
+
+    def test_tracks_offered_load(self, result):
+        mean_rate = SCHEDULE.mean_rate(DURATION)
+        assert result.throughput == pytest.approx(mean_rate, rel=0.05)
+        assert result.user_response_time.mean > 0
+        p = result.response_percentiles
+        assert p["p50"] <= p["p95"] <= p["p99"]
+
+    def test_deterministic_under_seed(self, result):
+        replay = simulate_hybrid(BASELINE_CONFIG, SCHEDULE, duration=DURATION, seed=3)
+        assert replay.throughput == result.throughput
+        assert replay.completed_requests == result.completed_requests
+        assert replay.user_response_time == result.user_response_time
+        assert replay.response_percentiles == result.response_percentiles
+        assert replay.window_errors == result.window_errors
+
+    def test_seed_changes_windows(self, result):
+        other = simulate_hybrid(BASELINE_CONFIG, SCHEDULE, duration=DURATION, seed=4)
+        assert other.window_errors != result.window_errors
+
+    def test_to_dict_json_serializable(self, result):
+        payload = result.to_dict()
+        assert payload["fluid_epochs"] == result.fluid_epochs
+        assert payload["within_bound"] == result.within_bound
+        json.dumps(payload)  # must not raise
+
+
+class TestHybridAggregator:
+    @staticmethod
+    def _sample(index, mode, start, end, **kwargs):
+        defaults = dict(
+            rate=10.0,
+            throughput=10.0,
+            response_mean=1.0,
+            response_p95=2.0,
+            cpu_usage=0.5,
+        )
+        defaults.update(kwargs)
+        return EpochSample(index=index, start=start, end=end, mode=mode, **defaults)
+
+    def test_completion_weighted_mean(self):
+        agg = HybridAggregator()
+        agg.add_fluid(self._sample(0, "fluid", 0.0, 100.0, response_mean=1.0))
+        agg.add_fluid(
+            self._sample(1, "fluid", 100.0, 200.0, throughput=30.0, response_mean=2.0)
+        )
+        # 1000 completions at 1.0s, 3000 at 2.0s → weighted mean 1.75
+        assert agg.response_summary().mean == pytest.approx(1.75)
+        assert agg.completed == 4000
+
+    def test_percentiles_monotone_and_bracketed(self):
+        agg = HybridAggregator()
+        agg.add_fluid(self._sample(0, "fluid", 0.0, 100.0, response_mean=1.0, response_p95=2.0))
+        agg.add_des(
+            self._sample(1, "des", 100.0, 200.0, response_mean=1.5, response_p95=3.0),
+            responses=[0.5 + 0.1 * i for i in range(30)],
+        )
+        p = agg.percentiles()
+        assert p["p50"] <= p["p95"] <= p["p99"]
+        assert 0.0 < p["p50"] < 3.5
+
+    def test_mode_counts_and_des_fraction(self):
+        agg = HybridAggregator()
+        agg.add_fluid(self._sample(0, "fluid", 0.0, 300.0))
+        agg.add_des(self._sample(1, "des", 300.0, 400.0), responses=[1.0, 2.0])
+        assert agg.mode_counts() == {"fluid": 1, "des": 1}
+        assert agg.des_time_fraction() == pytest.approx(0.25)
+
+    def test_series_one_point_per_epoch(self):
+        agg = HybridAggregator()
+        agg.add_fluid(self._sample(0, "fluid", 0.0, 300.0))
+        agg.add_fluid(self._sample(1, "fluid", 300.0, 600.0))
+        series = agg.series()
+        assert len(series.throughput.times) == 2
+        assert series.throughput.times[-1] == 600.0
+
+
+class TestScenarioIntegration:
+    def test_plantnet_hybrid_mode(self):
+        from repro.plantnet import PlantNetScenario
+
+        scenario = PlantNetScenario(
+            duration=DURATION,
+            warmup=0.0,
+            repetitions=1,
+            base_seed=11,
+            arrival_schedule=SCHEDULE,
+            engine_mode="hybrid",
+        )
+        result = scenario.run(BASELINE_CONFIG)
+        run = result.runs[0]
+        assert isinstance(run, HybridRunResult)
+        assert run.throughput == pytest.approx(SCHEDULE.mean_rate(DURATION), rel=0.05)
+        fp = scenario.fingerprint()
+        assert fp["engine_mode"] == "hybrid"
+        assert fp["arrival_schedule"] == SCHEDULE.to_dict()
+
+    def test_hybrid_mode_needs_schedule(self):
+        from repro.plantnet import PlantNetScenario
+
+        with pytest.raises(ValidationError, match="arrival_schedule"):
+            PlantNetScenario(engine_mode="hybrid")

@@ -71,6 +71,19 @@ class TestLoadProfile:
         assert ops["campaign.fast.trial"].value("mean") == pytest.approx(0.5)
         assert ops["des.fast.event"].value("mean") == pytest.approx(2e-5)
 
+    def test_loads_bench_hybrid_shape(self, tmp_path):
+        # carries a "des" arm too — must be sniffed as hybrid, not eval
+        payload = {
+            "hybrid": {"wall_s": 0.8, "des_epochs": 32},
+            "des": {"wall_s": 80.0, "completed": 1_000_000},
+            "speedup": 100.0,
+        }
+        path = tmp_path / "BENCH_hybrid.json"
+        path.write_text(json.dumps(payload))
+        ops = load_profile(path)
+        assert ops["hybrid.window"].value("mean") == pytest.approx(0.025)
+        assert ops["des.request"].value("mean") == pytest.approx(8e-5)
+
     def test_garbage_rejected(self, tmp_path):
         path = tmp_path / "junk.json"
         path.write_text('{"hello": "world"}')
@@ -86,7 +99,7 @@ class TestLoadProfile:
         from pathlib import Path
 
         baselines = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
-        for name in ("BENCH_campaign.json", "BENCH_eval.json"):
+        for name in ("BENCH_campaign.json", "BENCH_eval.json", "BENCH_hybrid.json"):
             ops = load_profile(baselines / name)
             assert ops, name
 

@@ -102,3 +102,52 @@ class TestScheduleValidation:
         env.timeout(3.5)
         env.run()
         assert env.now == 3.5
+
+
+class TestFastForward:
+    def test_shifts_clock_and_pending_events(self):
+        env = simcore.Environment()
+
+        def ticker(env, log):
+            while True:
+                yield env.timeout(10.0)
+                log.append(env.now)
+
+        log = []
+        env.process(ticker(env, log))
+        env.run(until=15.0)  # next tick pending at t=20
+        env.fast_forward(100.0)
+        assert env.now == 115.0
+        assert env.peek() == 120.0
+        env.run(until=125.0)
+        assert log[-1] == 120.0
+
+    def test_preserves_event_order(self):
+        env = simcore.Environment()
+        log = []
+
+        def once(env, delay, tag):
+            yield env.timeout(delay)
+            log.append(tag)
+
+        for delay, tag in ((5.0, "a"), (2.0, "b"), (9.0, "c")):
+            env.process(once(env, delay, tag))
+        env.fast_forward(50.0)
+        env.run()
+        assert log == ["b", "a", "c"]
+        assert env.now == 59.0
+
+    def test_zero_and_empty_heap_ok(self):
+        env = simcore.Environment()
+        env.fast_forward(25.0)
+        assert env.now == 25.0
+        assert env.peek() == float("inf")
+        env.fast_forward(0.0)
+        assert env.now == 25.0
+
+    def test_rejects_bad_delta(self):
+        env = simcore.Environment()
+        with pytest.raises(ValueError):
+            env.fast_forward(-1.0)
+        with pytest.raises(ValueError):
+            env.fast_forward(float("inf"))

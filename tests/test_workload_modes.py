@@ -1,8 +1,16 @@
 """Tests for open-loop and scheduled workload modes."""
 
+import math
+
 import pytest
 
-from repro.engine import BASELINE_CONFIG, IdentificationEngine, WorkloadSpec
+import repro.engine.engine as engine_mod
+from repro.engine import (
+    ArrivalSchedule,
+    BASELINE_CONFIG,
+    IdentificationEngine,
+    WorkloadSpec,
+)
 from repro.errors import ValidationError
 
 
@@ -47,6 +55,97 @@ class TestWorkloadSpecModes:
         with pytest.raises(ValidationError):
             WorkloadSpec(arrival_rate=0.0)
 
+    def test_arrival_rate_must_be_finite(self):
+        with pytest.raises(ValidationError, match="finite"):
+            WorkloadSpec(arrival_rate=math.inf)
+        with pytest.raises(ValidationError, match="finite"):
+            WorkloadSpec(arrival_rate=math.nan)
+
+    def test_arrival_schedule_is_open_mode(self):
+        spec = WorkloadSpec(arrival_schedule=ArrivalSchedule.constant(5.0))
+        assert spec.mode == "open"
+
+    def test_arrival_schedule_exclusive_with_rate(self):
+        with pytest.raises(ValidationError, match="exclusive"):
+            WorkloadSpec(
+                arrival_rate=5.0, arrival_schedule=ArrivalSchedule.constant(5.0)
+            )
+
+
+class TestArrivalSchedule:
+    def test_constant(self):
+        sched = ArrivalSchedule.constant(7.5)
+        assert sched.rate_at(0.0) == 7.5
+        assert sched.rate_at(1e9) == 7.5
+        assert sched.mean_rate(100.0) == pytest.approx(7.5)
+
+    def test_constant_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            ArrivalSchedule.constant(0.0)
+
+    def test_rates_must_be_finite(self):
+        with pytest.raises(ValidationError, match="finite"):
+            ArrivalSchedule.piecewise([(0.0, math.inf)])
+        with pytest.raises(ValidationError, match="finite"):
+            ArrivalSchedule.piecewise([(0.0, 5.0), (10.0, math.nan)])
+        with pytest.raises(ValidationError):
+            ArrivalSchedule.piecewise([(0.0, -1.0)])
+
+    def test_segments_must_increase_from_zero(self):
+        with pytest.raises(ValidationError, match="t=0"):
+            ArrivalSchedule.piecewise([(5.0, 1.0)])
+        with pytest.raises(ValidationError, match="increasing"):
+            ArrivalSchedule.piecewise([(0.0, 1.0), (10.0, 2.0), (10.0, 3.0)])
+        with pytest.raises(ValidationError, match="positive rate"):
+            ArrivalSchedule.piecewise([(0.0, 0.0), (10.0, 0.0)])
+
+    def test_rate_at_bisects(self):
+        sched = ArrivalSchedule.piecewise([(0.0, 1.0), (10.0, 2.0), (20.0, 3.0)])
+        assert sched.rate_at(0.0) == 1.0
+        assert sched.rate_at(9.999) == 1.0
+        assert sched.rate_at(10.0) == 2.0
+        assert sched.rate_at(25.0) == 3.0
+
+    def test_segments_clip_to_duration(self):
+        sched = ArrivalSchedule.piecewise([(0.0, 1.0), (10.0, 2.0), (20.0, 3.0)])
+        assert sched.segments(15.0) == ((0.0, 10.0, 1.0), (10.0, 15.0, 2.0))
+        assert sched.arrivals_in(15.0) == pytest.approx(10.0 + 10.0)
+
+    def test_diurnal_preserves_mean(self):
+        sched = ArrivalSchedule.diurnal(4.0, 12.0, period=86400.0)
+        assert sched.mean_rate(86400.0) == pytest.approx(8.0, rel=1e-6)
+        assert sched.peak_rate(86400.0) <= 12.0
+        assert min(r for _, r in sched.points) >= 4.0
+
+    def test_flash_crowd_shape(self):
+        sched = ArrivalSchedule.flash_crowd(2.0, 20.0, at=100.0, ramp=10.0, hold=50.0, decay=40.0)
+        assert sched.rate_at(0.0) == 2.0
+        assert sched.rate_at(115.0) == 20.0  # holding at the peak
+        assert sched.rate_at(100.0 + 10.0 + 50.0 + 40.0) == 2.0  # decayed back
+
+    def test_trace_from_sequence_and_file(self, tmp_path):
+        sched = ArrivalSchedule.from_trace([0.5, 1.0, 1.0, 4.0])
+        assert sched.is_trace
+        assert sched.arrivals_in(2.0) == 3.0
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n0.5\n1.0\n\n1.0  # dup\n4.0\n")
+        assert ArrivalSchedule.from_trace(path) == sched
+
+    def test_trace_rejects_bad_lines(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("0.5\nnot-a-number\n")
+        with pytest.raises(ValidationError, match="not a timestamp"):
+            ArrivalSchedule.from_trace(path)
+        with pytest.raises(ValidationError, match="non-decreasing"):
+            ArrivalSchedule.from_trace([2.0, 1.0])
+
+    def test_dict_roundtrip(self):
+        for sched in (
+            ArrivalSchedule.piecewise([(0.0, 1.0), (10.0, 2.0)]),
+            ArrivalSchedule.from_trace([0.0, 1.5, 3.0]),
+        ):
+            assert ArrivalSchedule.from_dict(sched.to_dict()) == sched
+
 
 class TestOpenLoop:
     def test_throughput_tracks_arrival_rate(self):
@@ -76,6 +175,76 @@ class TestOpenLoop:
             seed=2,
         ).run()
         assert heavy.user_response_time.mean > light.user_response_time.mean
+
+
+class TestScheduledOpenLoop:
+    @staticmethod
+    def _run(workload, seed=7):
+        return IdentificationEngine(BASELINE_CONFIG, workload, seed=seed).run()
+
+    def test_constant_schedule_byte_identical_to_plain_rate(self):
+        """A single-constant-segment schedule makes the exact same RNG calls
+        as plain ``arrival_rate`` mode, so every metric matches bit-for-bit."""
+        plain = self._run(
+            WorkloadSpec(duration=200.0, warmup=30.0, arrival_rate=9.0)
+        )
+        scheduled = self._run(
+            WorkloadSpec(
+                duration=200.0,
+                warmup=30.0,
+                arrival_schedule=ArrivalSchedule.constant(9.0),
+            )
+        )
+        assert scheduled.completed_requests == plain.completed_requests
+        assert scheduled.throughput == plain.throughput
+        assert scheduled.user_response_time == plain.user_response_time
+        assert scheduled.response_percentiles == plain.response_percentiles
+
+    def test_batch_size_invariance(self, monkeypatch):
+        """Batched gap draws equal repeated scalar draws, so results cannot
+        depend on where batch boundaries fall."""
+        workload = WorkloadSpec(duration=200.0, warmup=30.0, arrival_rate=9.0)
+        big = self._run(workload)
+        monkeypatch.setattr(engine_mod, "_ARRIVAL_BATCH", 8)
+        small = self._run(workload)
+        assert small.completed_requests == big.completed_requests
+        assert small.throughput == big.throughput
+        assert small.user_response_time == big.user_response_time
+
+    def test_scheduled_run_is_deterministic(self):
+        sched = ArrivalSchedule.piecewise([(0.0, 6.0), (80.0, 14.0), (160.0, 4.0)])
+        workload = WorkloadSpec(duration=240.0, warmup=20.0, arrival_schedule=sched)
+        a = self._run(workload)
+        b = self._run(workload)
+        assert a.completed_requests == b.completed_requests
+        assert a.throughput == b.throughput
+        assert a.user_response_time == b.user_response_time
+
+    def test_throughput_follows_schedule(self):
+        sched = ArrivalSchedule.piecewise([(0.0, 4.0), (150.0, 16.0)])
+        workload = WorkloadSpec(duration=300.0, warmup=10.0, arrival_schedule=sched)
+        result = self._run(workload)
+        series = result.series.throughput
+        t, v = series.times, series.values
+        low = float(v[(t > 30) & (t <= 150)].mean())
+        high = float(v[(t > 180) & (t <= 300)].mean())
+        assert low == pytest.approx(4.0, rel=0.3)
+        assert high == pytest.approx(16.0, rel=0.3)
+
+    def test_zero_rate_segment_goes_quiet(self):
+        sched = ArrivalSchedule.piecewise([(0.0, 10.0), (100.0, 0.0)])
+        workload = WorkloadSpec(duration=240.0, warmup=10.0, arrival_schedule=sched)
+        result = self._run(workload)
+        series = result.series.throughput
+        tail = series.values[series.times > 160.0]
+        assert (tail == 0).all()
+
+    def test_trace_replay_completes_every_arrival(self):
+        stamps = [float(i) * 2.0 for i in range(40)]
+        sched = ArrivalSchedule.from_trace(stamps)
+        workload = WorkloadSpec(duration=200.0, warmup=0.0, arrival_schedule=sched)
+        result = self._run(workload)
+        assert result.completed_requests == len(stamps)
 
 
 class TestScheduledPopulation:
